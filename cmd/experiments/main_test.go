@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E5", "E10", "E12"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E1", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E1 — Figure 3") || !strings.Contains(out, "VIOLATION") {
+		t.Fatalf("E1 output unexpected:\n%s", out)
+	}
+}
+
+func TestRunSingleExperimentMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E2", "-markdown"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|---|") {
+		t.Fatalf("markdown output lacks a table rule:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperimentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E99"}, &buf); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestBadFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	fsOut := &buf
+	if err := run([]string{"-definitely-not-a-flag"}, fsOut); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

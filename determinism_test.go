@@ -1,0 +1,83 @@
+package churnreg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"churnreg"
+)
+
+// TestSimClusterFullyDeterministic pins the public API's reproducibility
+// promise: identical options ⇒ identical observable behaviour, including
+// op results, timing, and membership.
+func TestSimClusterFullyDeterministic(t *testing.T) {
+	run := func() string {
+		c, err := churnreg.NewSimCluster(
+			churnreg.WithN(15),
+			churnreg.WithDelta(5),
+			churnreg.WithChurnRate(0.02),
+			churnreg.WithSeed(77),
+			churnreg.WithProtocol(churnreg.Synchronous),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var transcript string
+		for i := 0; i < 10; i++ {
+			if err := c.Write(int64(i)); err != nil {
+				t.Fatal(err)
+			}
+			v, err := c.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := c.Join()
+			if err != nil {
+				t.Fatal(err)
+			}
+			transcript += fmt.Sprintf("t=%d v=%d join=%v active=%d;", c.Now(), v, id, c.ActiveCount())
+			c.Run(25)
+		}
+		rep := c.Check()
+		transcript += fmt.Sprintf("reads=%d writes=%d ok=%v", rep.Reads, rep.Writes, rep.OK())
+		return transcript
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same options diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestProtocolsAgreeOnQuietSystem: with no churn and sequential ops, all
+// three protocols must produce identical read results (they implement the
+// same abstraction).
+func TestProtocolsAgreeOnQuietSystem(t *testing.T) {
+	values := []int64{5, 17, 4, 99}
+	for _, p := range []churnreg.Protocol{churnreg.Synchronous, churnreg.EventuallySynchronous, churnreg.StaticABD} {
+		t.Run(p.String(), func(t *testing.T) {
+			c, err := churnreg.NewSimCluster(
+				churnreg.WithN(9),
+				churnreg.WithDelta(5),
+				churnreg.WithProtocol(p),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range values {
+				if err := c.Write(v); err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.Read()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != v {
+					t.Fatalf("%v: read %d after writing %d", p, got, v)
+				}
+			}
+			if rep := c.Check(); !rep.OK() {
+				t.Fatalf("%v: %s", p, rep)
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Social-profile example: the paper's motivating "social network" setting
+// on the real-time runtime.
+//
+// A user's profile status is a shared register replicated across whatever
+// peers happen to be online. Peers come and go (churn); the eventually
+// synchronous protocol keeps the status readable without anyone knowing
+// message delay bounds. Everything here runs on real goroutines and
+// channels (LiveCluster), not the simulator.
+//
+// Run with: go run ./examples/socialprofile
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"churnreg"
+)
+
+// statuses are the profile states the user cycles through; the register
+// stores an index into this table (the library's value domain is int64 —
+// a production deployment would intern richer payloads the same way).
+var statuses = []string{
+	"☕ getting coffee",
+	"🚲 cycling to work",
+	"💻 deep in code review",
+	"🍜 lunch break",
+	"🎧 focus mode",
+}
+
+func main() {
+	cluster, err := churnreg.NewLiveCluster(
+		churnreg.WithN(7),
+		churnreg.WithDelta(25), // 25ms δ budget: real timers have slop
+		churnreg.WithTick(time.Millisecond),
+		churnreg.WithProtocol(churnreg.EventuallySynchronous),
+		churnreg.WithOperationTimeout(10*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fmt.Println("7 peers online, replicating @gopher's status (quorum protocol, real goroutines)")
+
+	rng := rand.New(rand.NewSource(7))
+	for round := range statuses {
+		// The user updates their status...
+		if err := cluster.Write(int64(round)); err != nil {
+			log.Fatalf("status update: %v", err)
+		}
+		// ...while the peer set churns: one peer drops, a new one joins
+		// and must learn the current status through its join protocol.
+		ids := cluster.IDs()
+		victim := ids[rng.Intn(len(ids))]
+		if err := cluster.Leave(victim); err == nil {
+			fmt.Printf("  peer %v went offline\n", victim)
+		}
+		joined, err := cluster.Join()
+		if err != nil {
+			log.Fatalf("peer join: %v", err)
+		}
+		// The fresh peer reads the status it learned while joining.
+		v, err := cluster.ReadAt(joined)
+		if err != nil {
+			log.Fatalf("read at fresh peer: %v", err)
+		}
+		fmt.Printf("round %d: status=%q — fresh peer %v sees %q (%d peers online)\n",
+			round, statuses[round], joined, statuses[v], cluster.Size())
+		if v != int64(round) {
+			log.Fatalf("fresh peer saw stale status %d, want %d", v, round)
+		}
+	}
+	fmt.Println("all fresh peers saw the latest status despite full peer churn ✓")
+}

@@ -1,0 +1,208 @@
+// Package abd implements a single-writer majority-quorum register in the
+// style of Attiya, Bar-Noy and Dolev ("Sharing Memory Robustly in
+// Message-Passing Systems", JACM 1995) — the static-system construction the
+// paper cites as [3] and contrasts its dynamic protocols against.
+//
+// The protocol assumes a fixed membership of n processes of which a
+// majority never fails:
+//
+//   - write(v): increment the writer's sequence number, send WRITE to all,
+//     wait for ⌊n/2⌋+1 ACKs.
+//   - read: send READ to all, wait for ⌊n/2⌋+1 REPLYs, return the value
+//     with the highest sequence number. (No write-back phase: a regular
+//     register does not need one; the write-back is what upgrades ABD
+//     reads to atomic.)
+//
+// There is no join operation — the protocol predates dynamic membership.
+// When this package is run under churn (experiments E4/E8 do this on
+// purpose), replacement processes enter as passive replicas: they answer
+// quorum queries with whatever state they have (initially ⊥) and apply the
+// WRITEs they observe, which is the naive "just restart the process"
+// deployment. The experiments show how regularity erodes as turnover
+// replaces informed replicas with empty ones — the motivation for the
+// paper's churn-aware joins.
+package abd
+
+import (
+	"churnreg/internal/core"
+)
+
+// Node is one process running the static ABD-style protocol.
+type Node struct {
+	env core.Env
+
+	register core.VersionedValue
+	active   bool // bootstrap processes only; replacements stay passive
+
+	reading  bool
+	readSN   core.ReadSeq
+	replies  map[core.ProcessID]core.VersionedValue
+	readDone func(core.VersionedValue)
+
+	writing   bool
+	writeSN   core.SeqNum
+	writeAck  map[core.ProcessID]bool
+	writeDone func()
+
+	stats Stats
+}
+
+// Stats counts protocol activity at this node.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	RepliesSent uint64
+	AcksSent    uint64
+	BottomSent  uint64 // quorum replies carrying ⊥ (passive replacement answering empty)
+}
+
+// New builds a node. Only bootstrap processes are usable endpoints; later
+// processes are passive replicas (see the package comment).
+func New(env core.Env, sc core.SpawnContext) *Node {
+	n := &Node{
+		env:      env,
+		register: core.Bottom(),
+		replies:  make(map[core.ProcessID]core.VersionedValue),
+		writeAck: make(map[core.ProcessID]bool),
+	}
+	if sc.Bootstrap {
+		n.register = sc.Initial
+		n.active = true
+	}
+	return n
+}
+
+// Factory returns a core.NodeFactory for the baseline.
+func Factory() core.NodeFactory {
+	return func(env core.Env, sc core.SpawnContext) core.Node {
+		return New(env, sc)
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Node   = (*Node)(nil)
+	_ core.Reader = (*Node)(nil)
+	_ core.Writer = (*Node)(nil)
+)
+
+func (n *Node) majority() int { return n.env.SystemSize()/2 + 1 }
+
+// Start implements core.Node. Bootstrap processes are active; replacements
+// have no join protocol to run and stay passive.
+func (n *Node) Start() {
+	if n.active {
+		n.env.MarkActive()
+	}
+}
+
+// Active implements core.Node.
+func (n *Node) Active() bool { return n.active }
+
+// Snapshot implements core.Node.
+func (n *Node) Snapshot() core.VersionedValue { return n.register }
+
+// Stats returns a copy of this node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Read implements core.Reader: query all, adopt the majority's freshest
+// value.
+func (n *Node) Read(done func(core.VersionedValue)) error {
+	if !n.active {
+		return core.ErrNotActive
+	}
+	if n.reading || n.writing {
+		return core.ErrOpInProgress
+	}
+	n.stats.Reads++
+	n.readSN++
+	n.replies = make(map[core.ProcessID]core.VersionedValue)
+	n.reading = true
+	n.readDone = done
+	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: n.readSN})
+	return nil
+}
+
+func (n *Node) checkRead() {
+	if !n.reading || len(n.replies) < n.majority() {
+		return
+	}
+	for _, v := range n.replies {
+		if v.MoreRecent(n.register) {
+			n.register = v
+		}
+	}
+	n.reading = false
+	done := n.readDone
+	n.readDone = nil
+	if done != nil {
+		done(n.register)
+	}
+}
+
+// Write implements core.Writer. Single-writer: the writer's own sequence
+// number is authoritative, so no read phase is needed.
+func (n *Node) Write(v core.Value, done func()) error {
+	if !n.active {
+		return core.ErrNotActive
+	}
+	if n.reading || n.writing {
+		return core.ErrOpInProgress
+	}
+	n.stats.Writes++
+	n.register = core.VersionedValue{Val: v, SN: n.register.SN + 1}
+	n.writeSN = n.register.SN
+	n.writeAck = make(map[core.ProcessID]bool)
+	n.writing = true
+	n.writeDone = done
+	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: n.register})
+	return nil
+}
+
+func (n *Node) checkWrite() {
+	if !n.writing || len(n.writeAck) < n.majority() {
+		return
+	}
+	n.writing = false
+	done := n.writeDone
+	n.writeDone = nil
+	if done != nil {
+		done()
+	}
+}
+
+// Deliver implements core.Node.
+func (n *Node) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case core.ReadMsg:
+		// Every replica answers — including passive replacements, which
+		// may only have ⊥. That is the naive-membership failure mode the
+		// experiments measure.
+		if n.register.IsBottom() {
+			n.stats.BottomSent++
+		}
+		n.stats.RepliesSent++
+		n.env.Send(msg.From, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: msg.RSN})
+	case core.ReplyMsg:
+		if msg.RSN != n.readSN {
+			return
+		}
+		if cur, ok := n.replies[msg.From]; !ok || msg.Value.MoreRecent(cur) {
+			n.replies[msg.From] = msg.Value
+		}
+		n.checkRead()
+	case core.WriteMsg:
+		if msg.Value.MoreRecent(n.register) {
+			n.register = msg.Value
+		}
+		n.stats.AcksSent++
+		n.env.Send(msg.From, core.AckMsg{From: n.env.ID(), SN: msg.Value.SN})
+	case core.AckMsg:
+		if n.writing && msg.SN == n.writeSN {
+			n.writeAck[msg.From] = true
+			n.checkWrite()
+		}
+	default:
+		panic("abd: unexpected message kind " + m.Kind().String())
+	}
+}

@@ -1,0 +1,154 @@
+// Package atomicreg upgrades the eventually synchronous regular register
+// to an ATOMIC one using the classic read-write-back construction (the
+// same device that turns ABD's regular reads atomic, cf. the paper's
+// references [3],[10]).
+//
+// The paper builds regular registers because they are achievable under
+// churn and cheaper; its introduction spells out the one behaviour that
+// separates them from atomic registers — the new/old inversion. This
+// package closes that gap: a read first runs the underlying quorum read,
+// then WRITES THE VALUE BACK to a majority before returning. Once a read
+// returns v, a majority stores at least v, so every later read's quorum
+// intersects it and returns ≥ v: no inversion can form. Experiment E11
+// demonstrates the difference on a scripted schedule.
+//
+// The construction piggybacks entirely on the regular protocol's wire
+// messages: the write-back is an ordinary WRITE broadcast (same sequence
+// number, so it never conflicts with the single writer's discipline), and
+// replicas ACK it through the ordinary Figure 6 lines 06-08 path. Cost:
+// one extra broadcast round per read.
+package atomicreg
+
+import (
+	"churnreg/internal/core"
+	"churnreg/internal/esyncreg"
+)
+
+// Node wraps an eventually synchronous node, upgrading Read to atomic
+// semantics via write-back. Writes and joins delegate unchanged.
+type Node struct {
+	env   core.Env
+	inner *esyncreg.Node
+
+	// Write-back round state.
+	wbActive bool
+	wbSN     core.SeqNum
+	wbAcks   map[core.ProcessID]bool
+	wbValue  core.VersionedValue
+	wbDone   func(core.VersionedValue)
+
+	stats Stats
+}
+
+// Stats counts write-back activity.
+type Stats struct {
+	Reads          uint64
+	WriteBacks     uint64 // write-back rounds started (== reads)
+	WriteBackAcked uint64 // ACKs consumed by write-backs
+}
+
+// New builds an atomic node over a fresh inner regular node.
+func New(env core.Env, sc core.SpawnContext, opts esyncreg.Options) *Node {
+	return &Node{
+		env:    env,
+		inner:  esyncreg.New(env, sc, opts),
+		wbAcks: make(map[core.ProcessID]bool),
+	}
+}
+
+// Factory returns a core.NodeFactory for the atomic register.
+func Factory(opts esyncreg.Options) core.NodeFactory {
+	return func(env core.Env, sc core.SpawnContext) core.Node {
+		return New(env, sc, opts)
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Node   = (*Node)(nil)
+	_ core.Reader = (*Node)(nil)
+	_ core.Writer = (*Node)(nil)
+	_ core.Joiner = (*Node)(nil)
+)
+
+func (n *Node) majority() int { return n.env.SystemSize()/2 + 1 }
+
+// Start implements core.Node.
+func (n *Node) Start() { n.inner.Start() }
+
+// Active implements core.Node.
+func (n *Node) Active() bool { return n.inner.Active() }
+
+// Snapshot implements core.Node.
+func (n *Node) Snapshot() core.VersionedValue { return n.inner.Snapshot() }
+
+// OnJoined implements core.Joiner.
+func (n *Node) OnJoined(done func()) { n.inner.OnJoined(done) }
+
+// Write implements core.Writer (unchanged from the regular protocol —
+// writes already install their value at a majority).
+func (n *Node) Write(v core.Value, done func()) error {
+	return n.inner.Write(v, done)
+}
+
+// Stats returns write-back counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Read implements core.Reader with atomic semantics: quorum read, then
+// write the result back to a majority, then return.
+func (n *Node) Read(done func(core.VersionedValue)) error {
+	if n.wbActive {
+		return core.ErrOpInProgress
+	}
+	err := n.inner.Read(func(v core.VersionedValue) {
+		n.startWriteBack(v, done)
+	})
+	if err != nil {
+		return err
+	}
+	n.stats.Reads++
+	return nil
+}
+
+// startWriteBack broadcasts the read value and waits for a majority of
+// ACKs before reporting the read complete.
+func (n *Node) startWriteBack(v core.VersionedValue, done func(core.VersionedValue)) {
+	n.stats.WriteBacks++
+	n.wbActive = true
+	n.wbSN = v.SN
+	n.wbValue = v
+	n.wbAcks = make(map[core.ProcessID]bool)
+	n.wbDone = done
+	// An ordinary WRITE: replicas apply it if newer and ACK it in all
+	// cases (Figure 6 lines 06-08), which is exactly what a write-back
+	// needs. It reuses the writer's sequence number, so the single-writer
+	// ordering is untouched.
+	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: v})
+}
+
+func (n *Node) checkWriteBack() {
+	if !n.wbActive || len(n.wbAcks) < n.majority() {
+		return
+	}
+	n.wbActive = false
+	done := n.wbDone
+	n.wbDone = nil
+	if done != nil {
+		done(n.wbValue)
+	}
+}
+
+// Deliver implements core.Node: write-back ACKs are consumed here; all
+// other traffic flows to the inner regular node. While a write-back is in
+// flight the inner node is neither reading nor writing (node operations
+// are sequential), so an ACK matching wbSN can only belong to the
+// write-back.
+func (n *Node) Deliver(from core.ProcessID, m core.Message) {
+	if ack, ok := m.(core.AckMsg); ok && n.wbActive && ack.SN == n.wbSN {
+		n.stats.WriteBackAcked++
+		n.wbAcks[from] = true
+		n.checkWriteBack()
+		return
+	}
+	n.inner.Deliver(from, m)
+}

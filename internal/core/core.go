@@ -1,0 +1,171 @@
+// Package core defines the substrate every register protocol in this
+// repository is written against: process identities, versioned register
+// values, the wire messages of the paper's figures, and the Env/Node
+// contracts that decouple protocol logic from the runtime executing it.
+//
+// Protocols (internal/syncreg, internal/esyncreg, internal/abd) are pure
+// event-driven state machines over these interfaces. The deterministic
+// simulator (internal/dynsys) and the goroutine live runtime
+// (internal/livenet) both implement Env, so identical protocol code runs in
+// virtual time and in real time.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"churnreg/internal/sim"
+)
+
+// Operation invocation errors. The paper assumes a process invokes read or
+// write only after its join has returned, and that a process runs one
+// operation at a time (processes are sequential); violating either is a
+// caller bug surfaced as an error rather than undefined protocol behaviour.
+var (
+	// ErrNotActive is returned when read/write is invoked before the
+	// process's join operation has returned.
+	ErrNotActive = errors.New("register: process has not completed join")
+	// ErrOpInProgress is returned when an operation is invoked while the
+	// process still has one outstanding.
+	ErrOpInProgress = errors.New("register: operation already in progress")
+)
+
+// ProcessID uniquely identifies a process across the whole run. The paper
+// uses the infinite-arrival model: infinitely many processes may join over
+// time, each with a fresh identity; a process that re-enters does so under
+// a new ID. IDs are allocated by the churn engine and never reused.
+type ProcessID int64
+
+// NoProcess is the zero ProcessID, never allocated to a real process.
+const NoProcess ProcessID = 0
+
+// String renders the ID in the paper's p_i style.
+func (id ProcessID) String() string { return fmt.Sprintf("p%d", int64(id)) }
+
+// SeqNum is a register sequence number. The initial value of the register
+// carries sequence number 0; each write increments it.
+type SeqNum int64
+
+// BottomSN marks the ⊥ (unknown) register state a process holds between
+// entering the system and learning a value.
+const BottomSN SeqNum = -1
+
+// Value is the register's value domain. The paper leaves the domain
+// abstract; int64 keeps simulated runs cheap while the public API layers
+// arbitrary payloads on top via an interning table.
+type Value int64
+
+// VersionedValue is a register value paired with its sequence number.
+// The zero VersionedValue is NOT ⊥; use Bottom for the unknown state.
+type VersionedValue struct {
+	Val Value
+	SN  SeqNum
+}
+
+// Bottom returns the ⊥ register state held before a join learns a value.
+func Bottom() VersionedValue { return VersionedValue{SN: BottomSN} }
+
+// IsBottom reports whether v is the unknown ⊥ state.
+func (v VersionedValue) IsBottom() bool { return v.SN == BottomSN }
+
+// MoreRecent reports whether v supersedes u (strictly larger sequence
+// number). Bottom is superseded by everything with SN >= 0.
+func (v VersionedValue) MoreRecent(u VersionedValue) bool { return v.SN > u.SN }
+
+// String renders the pair as ⟨val, sn⟩.
+func (v VersionedValue) String() string {
+	if v.IsBottom() {
+		return "⟨⊥⟩"
+	}
+	return fmt.Sprintf("⟨%d,#%d⟩", int64(v.Val), int64(v.SN))
+}
+
+// ReadSeq identifies a read request issued by a process. The paper tags
+// each read with (i, read_sn); read_sn = 0 identifies the join inquiry.
+type ReadSeq int64
+
+// JoinReadSeq is the reserved read sequence number identifying the join
+// operation's inquiry in the eventually synchronous protocol.
+const JoinReadSeq ReadSeq = 0
+
+// Env is the runtime surface a protocol node sees. Implementations must
+// guarantee single-threaded delivery per node: a node's handlers are never
+// invoked concurrently, so protocol state machines need no locks.
+type Env interface {
+	// ID returns this process's identity.
+	ID() ProcessID
+	// Now returns the current time in paper time units. In the synchronous
+	// model this is the paper's global clock; in the eventually synchronous
+	// model protocols must not base decisions on it (it exists for tracing),
+	// matching the paper's "time notion inaccessible to the processes".
+	Now() sim.Time
+	// Send transmits m to process to over the point-to-point network.
+	Send(to ProcessID, m Message)
+	// Broadcast disseminates m through the broadcast service of §3.2/§5.1.
+	Broadcast(m Message)
+	// After schedules fn on this node after d time units of the runtime's
+	// clock. Implements the protocols' wait(δ) statements. The callback is
+	// not invoked once the process has left the system.
+	After(d sim.Duration, fn func())
+	// Delta returns the system's claimed communication bound δ. Only the
+	// synchronous protocol may rely on it; the eventually synchronous
+	// protocol never calls it (asserted in tests).
+	Delta() sim.Duration
+	// SystemSize returns n, the constant number of processes, known to
+	// every process in both models.
+	SystemSize() int
+	// MarkActive records that this node's join operation completed; the
+	// membership layer uses it to maintain A(τ) accounting.
+	MarkActive()
+}
+
+// Node is a register protocol instance bound to one process.
+type Node interface {
+	// Start is invoked once, when the process enters the system (the
+	// beginning of its join, in the paper's "listening mode" sense), or at
+	// time 0 for the n initial processes (with Bootstrap set).
+	Start()
+	// Deliver hands the node a message. from is the sender's identity.
+	Deliver(from ProcessID, m Message)
+	// Active reports whether the node completed its join.
+	Active() bool
+	// Snapshot returns the node's current local register copy (for
+	// checking and metrics; not part of the protocol).
+	Snapshot() VersionedValue
+}
+
+// SpawnContext tells a protocol factory how a node comes into existence.
+// The paper's system starts with n processes that already hold the initial
+// register value and are active; every later process joins empty-handed.
+type SpawnContext struct {
+	// Bootstrap marks one of the n initial processes.
+	Bootstrap bool
+	// Initial is the register's initial value (valid when Bootstrap).
+	Initial VersionedValue
+}
+
+// NodeFactory builds a protocol instance for a freshly spawned process.
+type NodeFactory func(env Env, sc SpawnContext) Node
+
+// Reader is implemented by protocols whose read returns asynchronously
+// (quorum-based reads). done receives the value the read returns.
+type Reader interface {
+	Read(done func(VersionedValue)) error
+}
+
+// LocalReader is implemented by protocols with fast local reads (§3).
+type LocalReader interface {
+	ReadLocal() (VersionedValue, error)
+}
+
+// Writer is implemented by protocol nodes that can issue writes. done runs
+// when the write operation returns ok.
+type Writer interface {
+	Write(v Value, done func()) error
+}
+
+// Joiner exposes the completion of the join operation. done runs when join
+// returns ok. Implementations invoke it at most once.
+type Joiner interface {
+	OnJoined(done func())
+}

@@ -1,0 +1,194 @@
+package core
+
+import "fmt"
+
+// MsgKind discriminates the wire messages used by the paper's protocols.
+type MsgKind int
+
+// Message kinds: one per message named in Figures 1–6, plus the write-
+// token messages of the multi-writer extension (internal/multiwriter).
+const (
+	KindInquiry MsgKind = iota + 1
+	KindReply
+	KindWrite
+	KindAck
+	KindRead
+	KindDLPrev
+	KindClaim
+	KindBeat
+	KindToken
+)
+
+// String returns the paper's message name.
+func (k MsgKind) String() string {
+	switch k {
+	case KindInquiry:
+		return "INQUIRY"
+	case KindReply:
+		return "REPLY"
+	case KindWrite:
+		return "WRITE"
+	case KindAck:
+		return "ACK"
+	case KindRead:
+		return "READ"
+	case KindDLPrev:
+		return "DL_PREV"
+	case KindClaim:
+		return "CLAIM"
+	case KindBeat:
+		return "BEAT"
+	case KindToken:
+		return "TOKEN"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Message is a protocol wire message. Concrete types are small value
+// structs; the network layer copies them by value, so nodes can never share
+// mutable state through a message.
+type Message interface {
+	Kind() MsgKind
+	// WireSize returns an abstract on-wire size in bytes, used by the
+	// metrics layer for bandwidth accounting.
+	WireSize() int
+}
+
+// InquiryMsg is INQUIRY(i) in the synchronous protocol (Figure 1 line 05)
+// and INQUIRY(i, read_sn) in the eventually synchronous one (Figure 4 line
+// 03). The synchronous protocol leaves RSN at JoinReadSeq.
+type InquiryMsg struct {
+	From ProcessID
+	RSN  ReadSeq
+}
+
+// Kind implements Message.
+func (InquiryMsg) Kind() MsgKind { return KindInquiry }
+
+// WireSize implements Message.
+func (InquiryMsg) WireSize() int { return 16 }
+
+// ReplyMsg is REPLY(⟨i, register, sn⟩) (Figure 1 line 11/14) or
+// REPLY(⟨i, register, sn⟩, r_sn) (Figure 4 lines 09/13). RSN identifies
+// the request being answered in the eventually synchronous protocol.
+type ReplyMsg struct {
+	From  ProcessID
+	Value VersionedValue
+	RSN   ReadSeq
+}
+
+// Kind implements Message.
+func (ReplyMsg) Kind() MsgKind { return KindReply }
+
+// WireSize implements Message.
+func (ReplyMsg) WireSize() int { return 32 }
+
+// WriteMsg is WRITE(v, sn) (Figure 2 line 01) or WRITE(i, ⟨v, sn⟩)
+// (Figure 6 line 04).
+type WriteMsg struct {
+	From  ProcessID
+	Value VersionedValue
+}
+
+// Kind implements Message.
+func (WriteMsg) Kind() MsgKind { return KindWrite }
+
+// WireSize implements Message.
+func (WriteMsg) WireSize() int { return 24 }
+
+// AckMsg is ACK(i, sn) (Figure 6 line 08, Figure 4 line 20). SN carries the
+// register sequence number being acknowledged (see the DESIGN.md §2 note on
+// why the REPLY-triggered ACK carries the register sn rather than r_sn).
+type AckMsg struct {
+	From ProcessID
+	SN   SeqNum
+}
+
+// Kind implements Message.
+func (AckMsg) Kind() MsgKind { return KindAck }
+
+// WireSize implements Message.
+func (AckMsg) WireSize() int { return 16 }
+
+// ReadMsg is READ(i, read_sn) (Figure 5 line 03).
+type ReadMsg struct {
+	From ProcessID
+	RSN  ReadSeq
+}
+
+// Kind implements Message.
+func (ReadMsg) Kind() MsgKind { return KindRead }
+
+// WireSize implements Message.
+func (ReadMsg) WireSize() int { return 16 }
+
+// DLPrevMsg is DL_PREV(i, r_sn) (Figure 4 lines 14/16): "I saw your
+// request while not yet able to answer it; I will answer when active" —
+// the sender asks the receiver to remember it in dl_prev.
+type DLPrevMsg struct {
+	From ProcessID
+	RSN  ReadSeq
+}
+
+// Kind implements Message.
+func (DLPrevMsg) Kind() MsgKind { return KindDLPrev }
+
+// WireSize implements Message.
+func (DLPrevMsg) WireSize() int { return 16 }
+
+// ClaimMsg is the multi-writer extension's CLAIM(i, stamp): process i bids
+// for the write token with its invocation timestamp; lower (stamp, id)
+// wins a contention burst.
+type ClaimMsg struct {
+	From  ProcessID
+	Stamp int64
+}
+
+// Kind implements Message.
+func (ClaimMsg) Kind() MsgKind { return KindClaim }
+
+// WireSize implements Message.
+func (ClaimMsg) WireSize() int { return 16 }
+
+// BeatMsg is the token holder's heartbeat. Free announces a voluntary
+// release: holders broadcast it so claimants need not wait out the
+// staleness timeout. Seq orders beats from one holder — channels are not
+// FIFO, so a pre-release beat can overtake the release's free-beat;
+// recipients drop beats whose Seq is not beyond the last Free they saw
+// from that process.
+type BeatMsg struct {
+	From ProcessID
+	Free bool
+	Seq  uint64
+}
+
+// Kind implements Message.
+func (BeatMsg) Kind() MsgKind { return KindBeat }
+
+// WireSize implements Message.
+func (BeatMsg) WireSize() int { return 12 }
+
+// TokenMsg transfers the write token directly to a chosen successor.
+type TokenMsg struct {
+	From ProcessID
+}
+
+// Kind implements Message.
+func (TokenMsg) Kind() MsgKind { return KindToken }
+
+// WireSize implements Message.
+func (TokenMsg) WireSize() int { return 12 }
+
+// Compile-time interface checks.
+var (
+	_ Message = InquiryMsg{}
+	_ Message = ReplyMsg{}
+	_ Message = WriteMsg{}
+	_ Message = AckMsg{}
+	_ Message = ReadMsg{}
+	_ Message = DLPrevMsg{}
+	_ Message = ClaimMsg{}
+	_ Message = BeatMsg{}
+	_ Message = TokenMsg{}
+)

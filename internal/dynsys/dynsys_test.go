@@ -1,0 +1,229 @@
+package dynsys_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"churnreg/internal/core"
+	"churnreg/internal/dynsys"
+	"churnreg/internal/netsim"
+	"churnreg/internal/sim"
+	"churnreg/internal/syncreg"
+)
+
+func config(n int, churnRate float64) dynsys.Config {
+	return dynsys.Config{
+		N:         n,
+		Delta:     5,
+		Model:     netsim.SynchronousModel{Delta: 5},
+		Factory:   syncreg.Factory(syncreg.Options{}),
+		Seed:      1,
+		ChurnRate: churnRate,
+		Initial:   core.VersionedValue{Val: 0, SN: 0},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*dynsys.Config)
+	}{
+		{"zero N", func(c *dynsys.Config) { c.N = 0 }},
+		{"nil model", func(c *dynsys.Config) { c.Model = nil }},
+		{"nil factory", func(c *dynsys.Config) { c.Factory = nil }},
+		{"bad churn", func(c *dynsys.Config) { c.ChurnRate = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := config(5, 0)
+			tc.mutate(&cfg)
+			if _, err := dynsys.New(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestBootstrapPopulation(t *testing.T) {
+	sys, err := dynsys.New(config(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Network().Size(); got != 7 {
+		t.Fatalf("present = %d, want 7", got)
+	}
+	if got := len(sys.ActiveIDs()); got != 7 {
+		t.Fatalf("active = %d, want 7", got)
+	}
+	if sys.Now() != 0 {
+		t.Fatalf("time = %v, want 0", sys.Now())
+	}
+}
+
+func TestSpawnAndKillLifecycle(t *testing.T) {
+	sys, err := dynsys.New(config(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, node := sys.Spawn()
+	if node == nil || !sys.Present(id) {
+		t.Fatal("spawned process not present")
+	}
+	if node.Active() {
+		t.Fatal("fresh joiner already active")
+	}
+	rec := sys.Tracker().Record(id)
+	if rec == nil || rec.Entered != 0 {
+		t.Fatalf("entry not recorded: %+v", rec)
+	}
+	sys.KillProcess(id)
+	if sys.Present(id) {
+		t.Fatal("killed process still present")
+	}
+	if sys.Node(id) != nil {
+		t.Fatal("killed process still has a node")
+	}
+	// Double-kill is a no-op.
+	sys.KillProcess(id)
+}
+
+func TestDepartedProcessTimersSuppressed(t *testing.T) {
+	sys, err := dynsys.New(config(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A joiner schedules its join timers at spawn; killing it before they
+	// fire must not activate it.
+	id, _ := sys.Spawn()
+	sys.KillProcess(id)
+	if err := sys.RunFor(100); err != nil {
+		t.Fatal(err)
+	}
+	rec := sys.Tracker().Record(id)
+	if rec.IsActive() {
+		t.Fatal("departed process became active")
+	}
+}
+
+func TestOnSpawnAndOnKillHooks(t *testing.T) {
+	sys, err := dynsys.New(config(4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spawns, kills int
+	sys.OnSpawn(func(core.ProcessID, core.Node) { spawns++ })
+	sys.OnKill(func(core.ProcessID) { kills++ })
+	if err := sys.RunFor(200); err != nil {
+		t.Fatal(err)
+	}
+	if spawns == 0 || kills == 0 {
+		t.Fatalf("hooks not invoked: spawns=%d kills=%d", spawns, kills)
+	}
+	if spawns != kills {
+		t.Fatalf("spawns %d != kills %d under constant churn", spawns, kills)
+	}
+}
+
+func TestRandomActiveExcludes(t *testing.T) {
+	sys, err := dynsys.New(config(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sys.ActiveIDs()
+	for i := 0; i < 50; i++ {
+		got, ok := sys.RandomActive(ids[0], ids[1])
+		if !ok || got != ids[2] {
+			t.Fatalf("RandomActive with exclusions = %v, %v", got, ok)
+		}
+	}
+	_, ok := sys.RandomActive(ids[0], ids[1], ids[2])
+	if ok {
+		t.Fatal("RandomActive found someone in a fully excluded pool")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (uint64, int, sim.Time) {
+		sys, err := dynsys.New(config(20, 0.03))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RunFor(500); err != nil {
+			t.Fatal(err)
+		}
+		completed, _, _ := sys.Tracker().JoinStats()
+		return sys.Network().Stats().Sent, completed, sys.Now()
+	}
+	s1, c1, t1 := run()
+	s2, c2, t2 := run()
+	if s1 != s2 || c1 != c2 || t1 != t2 {
+		t.Fatalf("same seed diverged: (%d,%d,%v) vs (%d,%d,%v)", s1, c1, t1, s2, c2, t2)
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	sent := make(map[uint64]bool)
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := config(20, 0.03)
+		cfg.Seed = seed
+		sys, err := dynsys.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RunFor(500); err != nil {
+			t.Fatal(err)
+		}
+		sent[sys.Network().Stats().Sent] = true
+	}
+	if len(sent) < 2 {
+		t.Fatal("three different seeds produced identical message counts")
+	}
+}
+
+// Property: under any churn rate in range, the population is exactly N at
+// every sampled instant, and active processes never exceed the population.
+func TestPopulationAndActiveInvariantProperty(t *testing.T) {
+	f := func(seed uint64, rateRaw uint8) bool {
+		cfg := config(15, float64(rateRaw%30)/1000.0) // 0 .. 0.029
+		cfg.Seed = seed
+		sys, err := dynsys.New(cfg)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			if err := sys.RunFor(10); err != nil {
+				return false
+			}
+			if sys.Network().Size() != 15 {
+				return false
+			}
+			if len(sys.ActiveIDs()) > 15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinLifetimeHonoredBySystem(t *testing.T) {
+	cfg := config(10, 0.05)
+	cfg.MinLifetime = 40
+	sys, err := dynsys.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(400); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sys.Tracker().Records() {
+		if r.Departed == (1<<63-1) || r.Entered == 0 {
+			continue // still present, or bootstrap
+		}
+		if r.Departed.Sub(r.Entered) < 40 {
+			t.Fatalf("process %v lived only %d < MinLifetime", r.ID, r.Departed.Sub(r.Entered))
+		}
+	}
+}

@@ -1,0 +1,461 @@
+// Package esyncreg implements the paper's eventually synchronous regular
+// register protocol (§5, Figures 4, 5 and 6).
+//
+// The protocol cannot rely on the passage of time (δ and GST exist but are
+// unknown to processes), so every operation is acknowledgment-based:
+//
+//   - join (Figure 4): broadcast INQUIRY(i, 0) and wait until a majority
+//     (⌊n/2⌋+1) of REPLYs arrive; adopt the highest sequence number; then
+//     answer every request deferred in reply_to and dl_prev.
+//   - read (Figure 5): a simplified join — broadcast READ(i, read_sn), wait
+//     for a majority of matching REPLYs, merge, return the local copy.
+//   - write (Figure 6): read first (to learn the greatest sequence number),
+//     then broadcast WRITE(i, ⟨v, sn+1⟩) and wait for a majority of ACKs.
+//
+// The DL_PREV mechanism is what makes operations live (Lemmas 5–7): a
+// process that sees a request it cannot answer yet — or that has a pending
+// read a newcomer can't know about — hands the requester/newcomer an
+// obligation to reply later. Without it, concurrent joins starve each other
+// under churn; Options.DisableDLPrev exposes that ablation (experiment E9).
+//
+// Correctness requires a majority of the n processes active at all times
+// and c ≤ 1/(3δn) (§5.2); the package does not enforce either — experiments
+// explore both sides.
+//
+// This implementation is deliberately time-free: it never calls env.After
+// or env.Delta (asserted by tests), matching the paper's "the date GST and
+// the bound δ can never be explicitly known by the processes".
+package esyncreg
+
+import (
+	"churnreg/internal/core"
+)
+
+// Options tune the protocol for experiments.
+type Options struct {
+	// DisableDLPrev removes the DL_PREV deferred-reply mechanism
+	// (Figure 4 lines 14, 16, 22 and the dl_prev part of line 08). The
+	// protocol loses join/read liveness under concurrent joins — the E9
+	// ablation demonstrates it.
+	DisableDLPrev bool
+	// LiteralAckRSN makes the REPLY-triggered ACK carry the request's
+	// read sequence number, the literal text of Figure 4 line 20, instead
+	// of the register sequence number our DESIGN.md §2 interpretation
+	// argues Lemma 7 needs. With it, writers can starve (tested).
+	LiteralAckRSN bool
+}
+
+// reqKey identifies a pending remote request: who asked, and which of
+// their requests (read_sn; 0 is the join).
+type reqKey struct {
+	id  core.ProcessID
+	rsn core.ReadSeq
+}
+
+// Node is one process running the eventually synchronous protocol. It must
+// only be driven by a single-threaded runtime (core.Env guarantees this).
+type Node struct {
+	env  core.Env
+	opts Options
+
+	// register is (register_i, sn_i).
+	register core.VersionedValue
+	// active is active_i.
+	active bool
+	// reading is reading_i.
+	reading bool
+	// readSN is read_sn_i; 0 identifies the join inquiry.
+	readSN core.ReadSeq
+	// replies is replies_i, keyed by responder, for the current request.
+	replies map[core.ProcessID]core.VersionedValue
+	// replyTo is reply_to_i; insertion-ordered for determinism.
+	replyTo     map[reqKey]bool
+	replyToList []reqKey
+	// dlPrev is dl_prev_i; insertion-ordered for determinism.
+	dlPrev     map[reqKey]bool
+	dlPrevList []reqKey
+	// writeAck is write_ack_i.
+	writeAck map[core.ProcessID]bool
+
+	joining   bool
+	joinDone  []func()
+	readDone  func(core.VersionedValue)
+	writing   bool
+	writeDone func()
+	// writeBroadcast marks the write's second phase: the WRITE message is
+	// out and ACKs may count. The paper's "wait until |write_ack| ≥ ..."
+	// (Figure 6 line 05) textually follows the reset+broadcast of lines
+	// 03-04; without this gate, stale ACKs arriving during the embedded
+	// read of line 01 would match the previous write's state and complete
+	// the operation before it broadcast anything.
+	writeBroadcast bool
+	// writeSN is the sequence number of the in-flight write.
+	writeSN core.SeqNum
+	// writeVal is the value of the in-flight write, applied between the
+	// embedded read completing and the WRITE broadcast.
+	writeVal core.Value
+
+	stats Stats
+}
+
+// Stats counts protocol activity at this node.
+type Stats struct {
+	Reads            uint64
+	Writes           uint64
+	RepliesSent      uint64
+	DeferredReplies  uint64 // replies sent at join completion (reply_to ∪ dl_prev)
+	DLPrevSent       uint64
+	AcksSent         uint64
+	StaleRepliesSeen uint64 // REPLYs whose r_sn did not match read_sn
+}
+
+// New builds a node. Bootstrap nodes hold the initial value and are active
+// immediately; all others start the join operation when Start is called.
+func New(env core.Env, sc core.SpawnContext, opts Options) *Node {
+	n := &Node{
+		env:      env,
+		opts:     opts,
+		register: core.Bottom(),
+		replies:  make(map[core.ProcessID]core.VersionedValue),
+		replyTo:  make(map[reqKey]bool),
+		dlPrev:   make(map[reqKey]bool),
+		writeAck: make(map[core.ProcessID]bool),
+	}
+	if sc.Bootstrap {
+		n.register = sc.Initial
+		n.active = true
+	}
+	return n
+}
+
+// Factory returns a core.NodeFactory building nodes with opts.
+func Factory(opts Options) core.NodeFactory {
+	return func(env core.Env, sc core.SpawnContext) core.Node {
+		return New(env, sc, opts)
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Node   = (*Node)(nil)
+	_ core.Reader = (*Node)(nil)
+	_ core.Writer = (*Node)(nil)
+	_ core.Joiner = (*Node)(nil)
+)
+
+// majority returns ⌊n/2⌋+1, the quorum size backed by the §5.2 assumption
+// that a majority of the n processes is active at every instant.
+func (n *Node) majority() int { return n.env.SystemSize()/2 + 1 }
+
+// Start implements core.Node — operation join(i), Figure 4 lines 01-04.
+func (n *Node) Start() {
+	if n.active {
+		n.env.MarkActive()
+		return
+	}
+	n.joining = true
+	// Lines 01-02: initialization happened in New; read_sn_i starts at 0,
+	// identifying this join's inquiry.
+	n.readSN = core.JoinReadSeq
+	n.replies = make(map[core.ProcessID]core.VersionedValue)
+	// Line 03: broadcast INQUIRY(i, read_sn_i).
+	n.env.Broadcast(core.InquiryMsg{From: n.env.ID(), RSN: n.readSN})
+	// Line 04 ("wait until |replies_i| ≥ n/2+1") is event-driven: the
+	// check runs on every REPLY arrival (checkJoin).
+}
+
+// checkJoin completes the join once a majority of replies arrived
+// (Figure 4 lines 05-11).
+func (n *Node) checkJoin() {
+	if !n.joining || len(n.replies) < n.majority() {
+		return
+	}
+	n.joining = false
+	// Lines 05-06: adopt the most up-to-date value among the replies.
+	for _, v := range n.replies {
+		if v.MoreRecent(n.register) {
+			n.register = v
+		}
+	}
+	// Line 07: become active.
+	n.active = true
+	n.env.MarkActive()
+	// Lines 08-10: answer everything deferred in reply_to ∪ dl_prev.
+	n.flushDeferred()
+	// Line 11: return ok.
+	done := n.joinDone
+	n.joinDone = nil
+	for _, f := range done {
+		f()
+	}
+}
+
+// flushDeferred sends the deferred REPLYs of Figure 4 lines 08-10 and
+// clears both sets.
+func (n *Node) flushDeferred() {
+	sent := make(map[reqKey]bool, len(n.replyToList)+len(n.dlPrevList))
+	for _, k := range append(append([]reqKey{}, n.replyToList...), n.dlPrevList...) {
+		if sent[k] {
+			continue
+		}
+		sent[k] = true
+		n.stats.DeferredReplies++
+		n.env.Send(k.id, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: k.rsn})
+	}
+	n.replyTo = make(map[reqKey]bool)
+	n.replyToList = nil
+	n.dlPrev = make(map[reqKey]bool)
+	n.dlPrevList = nil
+}
+
+// OnJoined implements core.Joiner.
+func (n *Node) OnJoined(done func()) {
+	if done == nil {
+		return
+	}
+	if n.active {
+		done()
+		return
+	}
+	n.joinDone = append(n.joinDone, done)
+}
+
+// Active implements core.Node.
+func (n *Node) Active() bool { return n.active }
+
+// Snapshot implements core.Node.
+func (n *Node) Snapshot() core.VersionedValue { return n.register }
+
+// Stats returns a copy of this node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Read implements core.Reader — operation read(i), Figure 5 lines 01-07.
+// done receives the value the read returns.
+func (n *Node) Read(done func(core.VersionedValue)) error {
+	if !n.active {
+		return core.ErrNotActive
+	}
+	if n.reading || n.writing {
+		return core.ErrOpInProgress
+	}
+	n.stats.Reads++
+	n.startRead(done)
+	return nil
+}
+
+// startRead is the body shared by Read and the write's embedded read.
+func (n *Node) startRead(done func(core.VersionedValue)) {
+	// Line 01: read_sn_i := read_sn_i + 1.
+	n.readSN++
+	// Line 02: replies := ∅; reading := true.
+	n.replies = make(map[core.ProcessID]core.VersionedValue)
+	n.reading = true
+	n.readDone = done
+	// Line 03: broadcast READ(i, read_sn_i).
+	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: n.readSN})
+	// Line 04 is event-driven (checkRead on every REPLY).
+}
+
+// checkRead completes the read once a majority of matching replies arrived
+// (Figure 5 lines 05-07).
+func (n *Node) checkRead() {
+	if !n.reading || len(n.replies) < n.majority() {
+		return
+	}
+	// Lines 05-06: merge the most up-to-date value.
+	for _, v := range n.replies {
+		if v.MoreRecent(n.register) {
+			n.register = v
+		}
+	}
+	// Line 07: reading := false; return register_i.
+	n.reading = false
+	done := n.readDone
+	n.readDone = nil
+	if done != nil {
+		done(n.register)
+	}
+}
+
+// Write implements core.Writer — operation write(v), Figure 6 lines 01-05.
+// The paper assumes no two processes write concurrently.
+func (n *Node) Write(v core.Value, done func()) error {
+	if !n.active {
+		return core.ErrNotActive
+	}
+	if n.reading || n.writing {
+		return core.ErrOpInProgress
+	}
+	n.stats.Writes++
+	n.writing = true
+	n.writeBroadcast = false
+	n.writeDone = done
+	n.writeVal = v
+	// Line 01: read() — obtain the greatest sequence number. The embedded
+	// read also refreshes register_i, so line 02's increment builds on it.
+	n.startRead(func(core.VersionedValue) {
+		// Line 02: sn_i := sn_i + 1; register_i := v.
+		n.register = core.VersionedValue{Val: n.writeVal, SN: n.register.SN + 1}
+		n.writeSN = n.register.SN
+		// Line 03: write_ack := ∅.
+		n.writeAck = make(map[core.ProcessID]bool)
+		n.writeBroadcast = true
+		// Line 04: broadcast WRITE(i, ⟨v, sn⟩).
+		n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: n.register})
+		// Line 05 is event-driven (checkWrite on every ACK).
+	})
+	return nil
+}
+
+// checkWrite completes the write once a majority of ACKs arrived
+// (Figure 6 line 05).
+func (n *Node) checkWrite() {
+	if !n.writing || !n.writeBroadcast || len(n.writeAck) < n.majority() {
+		return
+	}
+	n.writing = false
+	n.writeBroadcast = false
+	done := n.writeDone
+	n.writeDone = nil
+	if done != nil {
+		done()
+	}
+}
+
+// Deliver implements core.Node, dispatching the handlers of Figures 4-6.
+func (n *Node) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case core.InquiryMsg:
+		n.handleInquiry(msg)
+	case core.ReadMsg:
+		n.handleRead(msg)
+	case core.ReplyMsg:
+		n.handleReply(msg)
+	case core.WriteMsg:
+		n.handleWrite(msg)
+	case core.AckMsg:
+		n.handleAck(msg)
+	case core.DLPrevMsg:
+		n.handleDLPrev(msg)
+	default:
+		panic("esyncreg: unexpected message kind " + m.Kind().String())
+	}
+}
+
+// handleInquiry is Figure 4 lines 12-17.
+func (n *Node) handleInquiry(m core.InquiryMsg) {
+	if n.active {
+		// Line 13: answer immediately.
+		n.stats.RepliesSent++
+		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: m.RSN})
+		// Line 14: a reading process also asks the newcomer to answer its
+		// in-flight read once active — the newcomer was not in the READ
+		// broadcast's snapshot and would otherwise never reply. The
+		// DL_PREV carries OUR pending request id (read_sn_i), which is
+		// what the newcomer must echo for line 19's match to succeed.
+		if n.reading && !n.opts.DisableDLPrev {
+			n.stats.DLPrevSent++
+			n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: n.readSN})
+		}
+		return
+	}
+	// Line 15: we cannot answer yet; remember the request.
+	n.defer_(reqKey{id: m.From, rsn: m.RSN})
+	// Line 16: and ask the inquirer to answer OUR join (pending request 0)
+	// when it becomes active — two concurrent joiners promise each other
+	// replies, which is what makes join live (Lemma 5).
+	if !n.opts.DisableDLPrev {
+		n.stats.DLPrevSent++
+		n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: n.readSN})
+	}
+}
+
+// handleRead is Figure 5 lines 08-11.
+func (n *Node) handleRead(m core.ReadMsg) {
+	if n.active {
+		// Line 09.
+		n.stats.RepliesSent++
+		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: m.RSN})
+		return
+	}
+	// Line 10: answer at join completion.
+	n.defer_(reqKey{id: m.From, rsn: m.RSN})
+}
+
+// handleReply is Figure 4 lines 18-21.
+func (n *Node) handleReply(m core.ReplyMsg) {
+	// Line 19: only replies to our current request count.
+	if m.RSN != n.readSN {
+		n.stats.StaleRepliesSeen++
+		return
+	}
+	// Line 20: record the reply and acknowledge it. The ACK carries the
+	// register sequence number from the reply (not r_sn): if the replier
+	// is a writer with an in-flight write, this ACK is how processes that
+	// joined after the WRITE broadcast contribute to its quorum (Lemma 7;
+	// see DESIGN.md §2). Options.LiteralAckRSN restores the literal text.
+	if cur, ok := n.replies[m.From]; !ok || m.Value.MoreRecent(cur) {
+		n.replies[m.From] = m.Value
+	}
+	ackSN := m.Value.SN
+	if n.opts.LiteralAckRSN {
+		ackSN = core.SeqNum(m.RSN)
+	}
+	n.stats.AcksSent++
+	n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: ackSN})
+	// Line 04 of Figures 4/5: re-check quorums.
+	n.checkJoin()
+	n.checkRead()
+}
+
+// handleWrite is Figure 6 lines 06-08 — runs at any process, active or
+// joining.
+func (n *Node) handleWrite(m core.WriteMsg) {
+	// Line 07.
+	if m.Value.MoreRecent(n.register) {
+		n.register = m.Value
+	}
+	// Line 08: "In all cases, it sends back an ACK" — even for stale
+	// writes, so a slow writer can still terminate.
+	n.stats.AcksSent++
+	n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: m.Value.SN})
+}
+
+// handleAck is Figure 6 lines 09-10. ACKs only count once the WRITE is out
+// (see the writeBroadcast comment).
+func (n *Node) handleAck(m core.AckMsg) {
+	if n.writing && n.writeBroadcast && m.SN == n.writeSN {
+		n.writeAck[m.From] = true
+		n.checkWrite()
+	}
+}
+
+// handleDLPrev is Figure 4 line 22.
+func (n *Node) handleDLPrev(m core.DLPrevMsg) {
+	if n.opts.DisableDLPrev {
+		return
+	}
+	k := reqKey{id: m.From, rsn: m.RSN}
+	if n.active {
+		// We already became active: answer immediately rather than never.
+		// (The paper's line 08 flush happens once, at join completion; a
+		// DL_PREV arriving after that would otherwise strand the sender,
+		// which can only lose liveness — answering now is safe: it is the
+		// same REPLY we would have sent a moment earlier.)
+		n.stats.RepliesSent++
+		n.env.Send(k.id, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: k.rsn})
+		return
+	}
+	if !n.dlPrev[k] {
+		n.dlPrev[k] = true
+		n.dlPrevList = append(n.dlPrevList, k)
+	}
+}
+
+// defer_ records a request to answer at join completion (reply_to_i).
+func (n *Node) defer_(k reqKey) {
+	if !n.replyTo[k] {
+		n.replyTo[k] = true
+		n.replyToList = append(n.replyToList, k)
+	}
+}

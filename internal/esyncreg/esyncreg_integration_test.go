@@ -1,0 +1,294 @@
+package esyncreg_test
+
+// Integration tests run the eventually synchronous protocol inside the full
+// simulated dynamic system: quorum liveness under pre-GST asynchrony, the
+// DL_PREV rescue chain of Lemma 5, and writer liveness through joiner ACKs
+// (Lemma 7) — plus both ablations showing what breaks without them.
+
+import (
+	"testing"
+
+	"churnreg/internal/core"
+	"churnreg/internal/dynsys"
+	"churnreg/internal/esyncreg"
+	"churnreg/internal/netsim"
+	"churnreg/internal/sim"
+)
+
+const delta = 5
+
+func newSystem(t *testing.T, n int, model netsim.DelayModel, opts esyncreg.Options, churnRate float64, minLifetime sim.Duration) *dynsys.System {
+	t.Helper()
+	sys, err := dynsys.New(dynsys.Config{
+		N:           n,
+		Delta:       delta,
+		Model:       model,
+		Factory:     esyncreg.Factory(opts),
+		Seed:        7,
+		ChurnRate:   churnRate,
+		MinLifetime: minLifetime,
+		Initial:     core.VersionedValue{Val: 0, SN: 0},
+	})
+	if err != nil {
+		t.Fatalf("dynsys.New: %v", err)
+	}
+	return sys
+}
+
+func esNode(t *testing.T, sys *dynsys.System, id core.ProcessID) *esyncreg.Node {
+	t.Helper()
+	n, ok := sys.Node(id).(*esyncreg.Node)
+	if !ok {
+		t.Fatalf("node %v is %T, want *esyncreg.Node", id, sys.Node(id))
+	}
+	return n
+}
+
+func TestJoinCompletesUnderSynchrony(t *testing.T) {
+	sys := newSystem(t, 5, netsim.SynchronousModel{Delta: delta}, esyncreg.Options{}, 0, 0)
+	id, node := sys.Spawn()
+	if err := sys.RunFor(4 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if !node.Active() {
+		t.Fatal("join did not complete")
+	}
+	v := node.Snapshot()
+	if v.SN != 0 || v.Val != 0 {
+		t.Fatalf("joiner adopted %v, want initial ⟨0,#0⟩", v)
+	}
+	_ = id
+}
+
+func TestJoinCompletesUnderPreGSTAsynchrony(t *testing.T) {
+	// GST far in the future: all traffic is unbounded-but-finite. The
+	// quorum protocol must still terminate (no departures here).
+	model := netsim.EventuallySynchronousModel{GST: 1 << 40, Delta: delta, PreGSTMax: 200}
+	sys := newSystem(t, 5, model, esyncreg.Options{}, 0, 0)
+	_, node := sys.Spawn()
+	if err := sys.RunFor(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !node.Active() {
+		t.Fatal("join never completed despite finite delays")
+	}
+}
+
+func TestWriteThenReadEndToEnd(t *testing.T) {
+	sys := newSystem(t, 7, netsim.SynchronousModel{Delta: delta}, esyncreg.Options{}, 0, 0)
+	ids := sys.ActiveIDs()
+	writer := esNode(t, sys, ids[0])
+	reader := esNode(t, sys, ids[3])
+
+	wrote := false
+	if err := writer.Write(99, func() { wrote = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(10 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if !wrote {
+		t.Fatal("write did not complete")
+	}
+	var got core.VersionedValue
+	read := false
+	if err := reader.Read(func(v core.VersionedValue) { got = v; read = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(10 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if !read {
+		t.Fatal("read did not complete")
+	}
+	if got.Val != 99 || got.SN != 1 {
+		t.Fatalf("read %v, want ⟨99,#1⟩", got)
+	}
+}
+
+func TestReadMergesFreshValueFromQuorum(t *testing.T) {
+	// A reader whose local copy is stale must return the quorum's newer
+	// value: read-from-majority intersects write-at-majority.
+	sys := newSystem(t, 5, netsim.SynchronousModel{Delta: delta}, esyncreg.Options{}, 0, 0)
+	ids := sys.ActiveIDs()
+	writer := esNode(t, sys, ids[0])
+	if err := writer.Write(55, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(10 * delta); err != nil {
+		t.Fatal(err)
+	}
+	// Join a fresh process — it adopts the value from its join quorum.
+	_, node := sys.Spawn()
+	if err := sys.RunFor(10 * delta); err != nil {
+		t.Fatal(err)
+	}
+	joiner := node.(*esyncreg.Node)
+	if !joiner.Active() {
+		t.Fatal("join incomplete")
+	}
+	var got core.VersionedValue
+	if err := joiner.Read(func(v core.VersionedValue) { got = v }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(10 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != 55 || got.SN != 1 {
+		t.Fatalf("joiner read %v, want ⟨55,#1⟩", got)
+	}
+}
+
+// TestDLPrevRescuesStarvedJoiner reproduces the Lemma 5 liveness chain: a
+// joiner whose INQUIRY was lost to departures (simulated by an injected
+// drop) sits one reply short of a quorum; a later joiner completes its own
+// join and — because the starved joiner handed it a DL_PREV — sends the
+// missing reply.
+func TestDLPrevRescuesStarvedJoiner(t *testing.T) {
+	runScenario := func(opts esyncreg.Options) (starvedActive bool) {
+		sys := newSystem(t, 5, netsim.SynchronousModel{Delta: delta}, opts, 0, 0)
+		// IDs 1..5 are bootstrap. The starved joiner is p6.
+		sys.Network().SetDropRule(func(from, to core.ProcessID, m core.Message, _ sim.Time) bool {
+			// p6's INQUIRY reaches only p4 and p5 (and itself): the other
+			// three actives "left before delivery".
+			return from == 6 && m.Kind() == core.KindInquiry && to >= 1 && to <= 3
+		})
+		_, starved := sys.Spawn() // p6
+		if err := sys.RunFor(10 * delta); err != nil {
+			t.Fatal(err)
+		}
+		if starved.Active() {
+			t.Fatal("scenario broken: starved joiner completed with 2 replies")
+		}
+		// Lift the drop rule (it only targeted p6's join inquiry anyway)
+		// and bring in a fresh joiner p7, which completes normally.
+		sys.Network().SetDropRule(nil)
+		_, rescuer := sys.Spawn() // p7
+		if err := sys.RunFor(20 * delta); err != nil {
+			t.Fatal(err)
+		}
+		if !rescuer.Active() {
+			t.Fatal("scenario broken: rescuer did not join")
+		}
+		return starved.Active()
+	}
+
+	if !runScenario(esyncreg.Options{}) {
+		t.Fatal("DL_PREV chain did not rescue the starved joiner")
+	}
+	if runScenario(esyncreg.Options{DisableDLPrev: true}) {
+		t.Fatal("ablated protocol rescued the joiner without DL_PREV — ablation ineffective")
+	}
+}
+
+// TestJoinerAcksUnblockWriter reproduces the Lemma 7 liveness chain: a
+// writer whose WRITE broadcast was lost to departures cannot assemble its
+// ACK quorum from direct deliveries; joiners that learn the pending value
+// through the writer's REPLY contribute the missing ACKs — but only when
+// the ACK carries the register sequence number (our DESIGN.md §2 reading).
+func TestJoinerAcksUnblockWriter(t *testing.T) {
+	runScenario := func(opts esyncreg.Options) (writeCompleted bool) {
+		sys := newSystem(t, 5, netsim.SynchronousModel{Delta: delta}, opts, 0, 0)
+		ids := sys.ActiveIDs()
+		writerID := ids[0]
+		writer := esNode(t, sys, writerID)
+		// The WRITE broadcast reaches nobody but the writer itself: the
+		// other four processes "left before delivery" (injected drop).
+		sys.Network().SetDropRule(func(from, to core.ProcessID, m core.Message, _ sim.Time) bool {
+			return m.Kind() == core.KindWrite && from == writerID && to != writerID
+		})
+		done := false
+		if err := writer.Write(31, func() { done = true }); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RunFor(10 * delta); err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatal("scenario broken: write completed with one ACK")
+		}
+		// Two joiners arrive. Each INQUIRY draws a REPLY from the writer
+		// carrying the pending ⟨31,#1⟩; their ACKs should complete the
+		// quorum (1 self + 2 joiners = 3 of 5).
+		sys.Spawn()
+		sys.Spawn()
+		if err := sys.RunFor(20 * delta); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+
+	if !runScenario(esyncreg.Options{}) {
+		t.Fatal("joiner ACKs did not unblock the writer")
+	}
+	if runScenario(esyncreg.Options{LiteralAckRSN: true}) {
+		t.Fatal("literal-r_sn ACKs unblocked the writer — the DESIGN.md §2 concern is moot")
+	}
+}
+
+func TestChurnRunValuePersists(t *testing.T) {
+	// c ≤ 1/(3δn): n=10, δ=5 → c ≤ 1/150. Keep joiners around ≥ 3δ as the
+	// lemmas assume.
+	sys := newSystem(t, 10, netsim.SynchronousModel{Delta: delta}, esyncreg.Options{}, 1.0/200, 3*delta)
+	ids := sys.ActiveIDs()
+	writer := esNode(t, sys, ids[0])
+	wrote := false
+	if err := writer.Write(777, func() { wrote = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(2000); err != nil {
+		t.Fatal(err)
+	}
+	if !wrote {
+		t.Fatal("write did not complete under churn")
+	}
+	// Substantial turnover happened; a current active must still read 777.
+	actives := sys.ActiveIDs()
+	if len(actives) < 6 {
+		t.Fatalf("majority-active assumption broken: %d active of 10", len(actives))
+	}
+	reader := esNode(t, sys, actives[len(actives)-1])
+	var got core.VersionedValue
+	read := false
+	if err := reader.Read(func(v core.VersionedValue) { got = v; read = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(200); err != nil {
+		t.Fatal(err)
+	}
+	if !read {
+		t.Fatal("read did not complete under churn")
+	}
+	if got.Val != 777 || got.SN != 1 {
+		t.Fatalf("value lost under churn: %v", got)
+	}
+	leaves := sys.Engine().Stats().Leaves
+	if leaves < 50 {
+		t.Fatalf("churn too weak to be meaningful: %d leaves", leaves)
+	}
+}
+
+func TestOpsInvokedBeforeGSTCompleteAfterGST(t *testing.T) {
+	// Theorem 3 shape: an operation invoked during the asynchronous period
+	// terminates once the system stabilizes (here: slow pre-GST traffic
+	// may deliver late, but quorums eventually assemble).
+	model := netsim.EventuallySynchronousModel{GST: 300, Delta: delta, PreGSTMax: 400}
+	sys := newSystem(t, 6, netsim.DelayModel(model), esyncreg.Options{}, 0, 0)
+	ids := sys.ActiveIDs()
+	writer := esNode(t, sys, ids[0])
+	wrote := false
+	if err := writer.Write(5, func() { wrote = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(250); err != nil { // still pre-GST
+		t.Fatal(err)
+	}
+	preGST := wrote
+	if err := sys.RunFor(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !wrote {
+		t.Fatal("pre-GST write never completed")
+	}
+	t.Logf("write completed before GST: %v (legal either way)", preGST)
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAtomicUpgrade(t *testing.T) {
+	tb := AtomicUpgrade(testSeed)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	reg, atom := tb.Rows[0], tb.Rows[1]
+	// Both runs must be regular.
+	if reg[3] != "true" || atom[3] != "true" {
+		t.Fatalf("a run was not regular: %v / %v", reg, atom)
+	}
+	// The regular register inverts on this schedule; the atomic one must
+	// not, and its read B must see the new value.
+	if reg[4] != "1" {
+		t.Fatalf("regular register did not invert: %v", reg)
+	}
+	if atom[4] != "0" {
+		t.Fatalf("atomic register inverted: %v", atom)
+	}
+	if atom[2] != "sn=1" {
+		t.Fatalf("atomic read B = %s, want sn=1", atom[2])
+	}
+	// The upgrade costs messages.
+	regMsgs, _ := strconv.Atoi(reg[5])
+	atomMsgs, _ := strconv.Atoi(atom[5])
+	if atomMsgs <= regMsgs {
+		t.Fatalf("write-back was free? regular=%d atomic=%d msgs", regMsgs, atomMsgs)
+	}
+}
+
+func TestBurstyChurn(t *testing.T) {
+	tb := BurstyChurn(testSeed)
+	constant, bursty := tb.Rows[0], tb.Rows[1]
+	// Same mean rate in both rows.
+	if constant[1] != bursty[1] {
+		t.Fatalf("mean rates differ: %s vs %s", constant[1], bursty[1])
+	}
+	// The constant profile, below the bound, stays safe.
+	if constant[5] != "0" {
+		t.Fatalf("constant profile violated regularity: %v", constant)
+	}
+	// The bursty profile — same mean — must visibly degrade.
+	cv, _ := strconv.Atoi(bursty[5])
+	cb, _ := strconv.Atoi(bursty[4])
+	if cv == 0 && cb == 0 {
+		t.Fatalf("bursty profile showed no degradation: %v", bursty)
+	}
+}

@@ -1,0 +1,415 @@
+// Package livenet runs the register protocols in real time: one
+// goroutine-confined event loop per process, channels as mailboxes, and
+// wall-clock message delays. It implements the same core.Env contract as
+// the deterministic simulator, so protocol state machines run unmodified.
+//
+// The simulator remains the source of every number in EXPERIMENTS.md; the
+// live runtime exists to show the protocols are deployable outside virtual
+// time (examples/socialprofile uses it) and to exercise them under real
+// concurrency in tests.
+//
+// Caveat for the synchronous protocol: its correctness rests on δ really
+// bounding delivery. In real time, delivery latency includes Go timer
+// scheduling slop (time.AfterFunc granularity is on the order of
+// milliseconds under load), so configure Delta×Tick comfortably above it
+// — δ of at least a few tens of milliseconds. The quorum-based eventually
+// synchronous protocol needs no such budget (it is time-free), which is
+// exactly the paper's point about asynchrony.
+//
+// Concurrency design: a node's handlers only ever run on its own loop
+// goroutine. Everything that touches a node — deliveries, timer callbacks,
+// user operations — is enqueued as a closure on the node's mailbox. The
+// cluster's shared state (membership) is guarded by one mutex; message
+// transfer uses time.AfterFunc goroutines, so senders never block on
+// receivers' processing.
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"churnreg/internal/core"
+	"churnreg/internal/sim"
+)
+
+// ErrClosed is returned once the cluster has been shut down.
+var ErrClosed = errors.New("livenet: cluster closed")
+
+// ErrAbsent is returned when addressing a process that is not present.
+var ErrAbsent = errors.New("livenet: process not in the system")
+
+// ErrTimeout is returned when an operation misses its real-time deadline.
+var ErrTimeout = errors.New("livenet: operation timed out")
+
+// Config assembles a live cluster.
+type Config struct {
+	// N is the bootstrap population and the n every process knows.
+	N int
+	// Delta is δ in ticks: messages take [1, Delta] ticks.
+	Delta sim.Duration
+	// Tick is the real duration of one tick (default 1ms).
+	Tick time.Duration
+	// Factory builds protocol nodes.
+	Factory core.NodeFactory
+	// Seed feeds the delay RNG.
+	Seed uint64
+	// Initial is the register's initial value.
+	Initial core.VersionedValue
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("livenet: N = %d, want > 0", c.N)
+	}
+	if c.Delta < 1 {
+		return fmt.Errorf("livenet: Delta = %d, want >= 1", c.Delta)
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("livenet: nil factory")
+	}
+	return nil
+}
+
+// Cluster is a running real-time system.
+type Cluster struct {
+	cfg   Config
+	start time.Time
+
+	mu     sync.Mutex
+	procs  map[core.ProcessID]*proc
+	nextID core.ProcessID
+	rng    *sim.RNG
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New builds the cluster and starts its n bootstrap processes.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		start: time.Now(),
+		procs: make(map[core.ProcessID]*proc),
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.spawnLocked(core.SpawnContext{Bootstrap: true, Initial: cfg.Initial})
+	}
+	return c, nil
+}
+
+// Close shuts down every process and waits for their loops to exit.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for id, p := range c.procs {
+		p.stop()
+		delete(c.procs, id)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Spawn adds a fresh process (its join starts immediately) and returns its
+// identity.
+func (c *Cluster) Spawn() (core.ProcessID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return core.NoProcess, ErrClosed
+	}
+	p := c.spawnLocked(core.SpawnContext{})
+	return p.id, nil
+}
+
+func (c *Cluster) spawnLocked(sc core.SpawnContext) *proc {
+	c.nextID++
+	p := &proc{
+		c:       c,
+		id:      c.nextID,
+		mailbox: make(chan func(), 64),
+		quit:    make(chan struct{}),
+	}
+	c.procs[p.id] = p
+	p.node = c.cfg.Factory(p, sc)
+	c.wg.Add(1)
+	go p.loop(&c.wg)
+	p.enqueue(func() { p.node.Start() })
+	return p
+}
+
+// Kill removes a process: it stops sending, receiving, and firing timers.
+func (c *Cluster) Kill(id core.ProcessID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.procs[id]
+	if !ok {
+		return ErrAbsent
+	}
+	p.stop()
+	delete(c.procs, id)
+	return nil
+}
+
+// Size returns the number of present processes.
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.procs)
+}
+
+// IDs returns the present process identities (unordered).
+func (c *Cluster) IDs() []core.ProcessID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.ProcessID, 0, len(c.procs))
+	for id := range c.procs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Invoke runs fn on the process's loop goroutine — the only legal way to
+// touch a node. It returns without waiting for fn to run.
+func (c *Cluster) Invoke(id core.ProcessID, fn func(core.Node)) error {
+	c.mu.Lock()
+	p, ok := c.procs[id]
+	c.mu.Unlock()
+	if !ok {
+		return ErrAbsent
+	}
+	p.enqueue(func() { fn(p.node) })
+	return nil
+}
+
+// WaitActive blocks until the process's join has returned, polling on its
+// loop goroutine, or until timeout.
+func (c *Cluster) WaitActive(id core.ProcessID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := make(chan bool, 1)
+		if err := c.Invoke(id, func(n core.Node) { done <- n.Active() }); err != nil {
+			return err
+		}
+		select {
+		case active := <-done:
+			if active {
+				return nil
+			}
+		case <-time.After(timeout):
+			return ErrTimeout
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(c.cfg.Tick)
+	}
+}
+
+// Read runs a read on the process and waits for its result.
+func (c *Cluster) Read(id core.ProcessID, timeout time.Duration) (core.VersionedValue, error) {
+	res := make(chan core.VersionedValue, 1)
+	errc := make(chan error, 1)
+	err := c.Invoke(id, func(n core.Node) {
+		switch r := n.(type) {
+		case core.LocalReader:
+			v, err := r.ReadLocal()
+			if err != nil {
+				errc <- err
+				return
+			}
+			res <- v
+		case core.Reader:
+			if err := r.Read(func(v core.VersionedValue) { res <- v }); err != nil {
+				errc <- err
+			}
+		default:
+			errc <- fmt.Errorf("livenet: node %T cannot read", n)
+		}
+	})
+	if err != nil {
+		return core.Bottom(), err
+	}
+	select {
+	case v := <-res:
+		return v, nil
+	case err := <-errc:
+		return core.Bottom(), err
+	case <-time.After(timeout):
+		return core.Bottom(), ErrTimeout
+	}
+}
+
+// Write runs a write on the process and waits for it to return ok.
+func (c *Cluster) Write(id core.ProcessID, v core.Value, timeout time.Duration) error {
+	done := make(chan struct{}, 1)
+	errc := make(chan error, 1)
+	err := c.Invoke(id, func(n core.Node) {
+		w, ok := n.(core.Writer)
+		if !ok {
+			errc <- fmt.Errorf("livenet: node %T cannot write", n)
+			return
+		}
+		if err := w.Write(v, func() { done <- struct{}{} }); err != nil {
+			errc <- err
+		}
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case err := <-errc:
+		return err
+	case <-time.After(timeout):
+		return ErrTimeout
+	}
+}
+
+// Snapshot returns the node's local register copy (scheduled on its loop).
+func (c *Cluster) Snapshot(id core.ProcessID, timeout time.Duration) (core.VersionedValue, error) {
+	res := make(chan core.VersionedValue, 1)
+	if err := c.Invoke(id, func(n core.Node) { res <- n.Snapshot() }); err != nil {
+		return core.Bottom(), err
+	}
+	select {
+	case v := <-res:
+		return v, nil
+	case <-time.After(timeout):
+		return core.Bottom(), ErrTimeout
+	}
+}
+
+// deliver schedules m's arrival at dest after delay ticks of real time.
+func (c *Cluster) deliver(from, to core.ProcessID, m core.Message, delay sim.Duration) {
+	d := time.Duration(delay) * c.cfg.Tick
+	time.AfterFunc(d, func() {
+		c.mu.Lock()
+		p, ok := c.procs[to]
+		c.mu.Unlock()
+		if !ok {
+			return // destination left before delivery
+		}
+		p.enqueue(func() { p.node.Deliver(from, m) })
+	})
+}
+
+// randDelay draws a delay in [1, Delta] ticks under the cluster lock.
+func (c *Cluster) randDelay() sim.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.DurationBetween(1, c.cfg.Delta)
+}
+
+// proc is one live process: mailbox-confined node plus env plumbing.
+type proc struct {
+	c       *Cluster
+	id      core.ProcessID
+	node    core.Node
+	mailbox chan func()
+	quit    chan struct{}
+	stopped sync.Once
+}
+
+var _ core.Env = (*proc)(nil)
+
+func (p *proc) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case fn := <-p.mailbox:
+			fn()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// enqueue posts fn to the loop, giving up if the process stops first.
+func (p *proc) enqueue(fn func()) {
+	select {
+	case p.mailbox <- fn:
+	case <-p.quit:
+	}
+}
+
+func (p *proc) stop() {
+	p.stopped.Do(func() { close(p.quit) })
+}
+
+// ID implements core.Env.
+func (p *proc) ID() core.ProcessID { return p.id }
+
+// Now implements core.Env: ticks elapsed since cluster start.
+func (p *proc) Now() sim.Time {
+	return sim.Time(time.Since(p.c.start) / p.c.cfg.Tick)
+}
+
+// Send implements core.Env.
+func (p *proc) Send(to core.ProcessID, m core.Message) {
+	select {
+	case <-p.quit:
+		return // departed processes do not send
+	default:
+	}
+	p.c.deliver(p.id, to, m, p.c.randDelay())
+}
+
+// Broadcast implements core.Env: snapshot-at-send semantics, loopback to
+// self in one tick — the same contract as the simulator.
+func (p *proc) Broadcast(m core.Message) {
+	select {
+	case <-p.quit:
+		return
+	default:
+	}
+	p.c.mu.Lock()
+	ids := make([]core.ProcessID, 0, len(p.c.procs))
+	for id := range p.c.procs {
+		ids = append(ids, id)
+	}
+	p.c.mu.Unlock()
+	for _, id := range ids {
+		delay := netDelayLoopbackAware(p, id)
+		p.c.deliver(p.id, id, m, delay)
+	}
+}
+
+func netDelayLoopbackAware(p *proc, to core.ProcessID) sim.Duration {
+	if to == p.id {
+		return 1
+	}
+	return p.c.randDelay()
+}
+
+// After implements core.Env: fn runs on the loop goroutine after d ticks,
+// suppressed once the process has left.
+func (p *proc) After(d sim.Duration, fn func()) {
+	time.AfterFunc(time.Duration(d)*p.c.cfg.Tick, func() {
+		p.enqueue(fn)
+	})
+}
+
+// Delta implements core.Env.
+func (p *proc) Delta() sim.Duration { return p.c.cfg.Delta }
+
+// SystemSize implements core.Env.
+func (p *proc) SystemSize() int { return p.c.cfg.N }
+
+// MarkActive implements core.Env (membership accounting is the cluster's
+// user's concern in the live runtime; nothing to record here).
+func (p *proc) MarkActive() {}

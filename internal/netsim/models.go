@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"churnreg/internal/core"
+	"churnreg/internal/sim"
+)
+
+// SynchronousModel implements the synchronous system of §3.2: every message
+// is delivered within δ of its send time. Delays are drawn uniformly from
+// [Min, Delta]; Min defaults to 1 tick.
+type SynchronousModel struct {
+	// Delta is the bound δ on communication delays, known to processes.
+	Delta sim.Duration
+	// Min is the smallest transit delay (>= 1).
+	Min sim.Duration
+}
+
+// Delay implements DelayModel.
+func (m SynchronousModel) Delay(rng *sim.RNG, _, _ core.ProcessID, _ sim.Time, _ core.MsgKind) sim.Duration {
+	lo := m.Min
+	if lo < 1 {
+		lo = 1
+	}
+	return rng.DurationBetween(lo, m.Delta)
+}
+
+// EventuallySynchronousModel implements the eventually synchronous system
+// of §5.1: there exist a time GST and a bound δ, both unknown to processes,
+// such that any message sent at or after GST is delivered within δ.
+// Messages sent before GST experience finite but unbounded delays, drawn
+// uniformly from [Min, PreGSTMax].
+type EventuallySynchronousModel struct {
+	// GST is the global stabilization time after which timing holds.
+	GST sim.Time
+	// Delta is the post-GST delivery bound.
+	Delta sim.Duration
+	// Min is the smallest transit delay (>= 1).
+	Min sim.Duration
+	// PreGSTMax bounds the (finite) delays before GST. It can be
+	// arbitrarily large relative to Delta; it exists because a simulation
+	// must terminate. Defaults to 100×Delta when zero.
+	PreGSTMax sim.Duration
+}
+
+// Delay implements DelayModel.
+func (m EventuallySynchronousModel) Delay(rng *sim.RNG, _, _ core.ProcessID, at sim.Time, _ core.MsgKind) sim.Duration {
+	lo := m.Min
+	if lo < 1 {
+		lo = 1
+	}
+	if at >= m.GST {
+		return rng.DurationBetween(lo, m.Delta)
+	}
+	hi := m.PreGSTMax
+	if hi <= 0 {
+		hi = 100 * m.Delta
+	}
+	// A pre-GST message may still arrive quickly; only the bound is absent.
+	return rng.DurationBetween(lo, hi)
+}
+
+// AsynchronousModel implements the fully asynchronous system of §4: no
+// bound on transfer delays exists at any time. Choose selects each delay;
+// if nil, delays are drawn from a heavy-tailed distribution over
+// [Min, Max]. The adversary package builds Choose functions that realize
+// the Theorem 2 impossibility schedule.
+type AsynchronousModel struct {
+	// Min is the smallest transit delay (>= 1).
+	Min sim.Duration
+	// Max caps delays so simulations terminate (the "finite" part of
+	// finite-but-unbounded). Defaults to 10000 when zero.
+	Max sim.Duration
+	// Choose, when non-nil, overrides the default distribution.
+	Choose func(rng *sim.RNG, from, to core.ProcessID, at sim.Time, kind core.MsgKind) sim.Duration
+}
+
+// Delay implements DelayModel.
+func (m AsynchronousModel) Delay(rng *sim.RNG, from, to core.ProcessID, at sim.Time, kind core.MsgKind) sim.Duration {
+	if m.Choose != nil {
+		d := m.Choose(rng, from, to, at, kind)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	lo := m.Min
+	if lo < 1 {
+		lo = 1
+	}
+	hi := m.Max
+	if hi <= 0 {
+		hi = 10000
+	}
+	// Heavy tail: square a uniform draw so most messages are quick but a
+	// constant fraction take a large fraction of Max.
+	u := rng.Float64()
+	d := lo + sim.Duration(float64(hi-lo)*u*u)
+	if d > hi {
+		d = hi
+	}
+	return d
+}
+
+// FixedDelayModel delivers every message after exactly D ticks. Used by
+// scenario scripts (Figure 3, new/old inversion) that need exact timing.
+type FixedDelayModel struct {
+	D sim.Duration
+}
+
+// Delay implements DelayModel.
+func (m FixedDelayModel) Delay(*sim.RNG, core.ProcessID, core.ProcessID, sim.Time, core.MsgKind) sim.Duration {
+	if m.D < 1 {
+		return 1
+	}
+	return m.D
+}
+
+// Route identifies message traffic for ScriptedDelayModel overrides. Zero
+// fields are wildcards: {Kind: KindWrite} matches every WRITE, {To: 5}
+// matches everything addressed to p5.
+type Route struct {
+	From core.ProcessID
+	To   core.ProcessID
+	Kind core.MsgKind
+}
+
+// ScriptedDelayModel assigns exact delays to matching routes, consulting
+// the most specific match first (all three fields set, then two, then one)
+// and falling back to Base. Scenario scripts (Figure 3a, the new/old
+// inversion figure) are built from it.
+type ScriptedDelayModel struct {
+	// Base applies when no override matches.
+	Base DelayModel
+	// Overrides maps routes to exact delays.
+	Overrides map[Route]sim.Duration
+}
+
+// Delay implements DelayModel.
+func (m ScriptedDelayModel) Delay(rng *sim.RNG, from, to core.ProcessID, at sim.Time, kind core.MsgKind) sim.Duration {
+	candidates := []Route{
+		{From: from, To: to, Kind: kind},
+		{From: from, To: to},
+		{From: from, Kind: kind},
+		{To: to, Kind: kind},
+		{From: from},
+		{To: to},
+		{Kind: kind},
+	}
+	for _, r := range candidates {
+		if d, ok := m.Overrides[r]; ok {
+			if d < 1 {
+				d = 1
+			}
+			return d
+		}
+	}
+	return m.Base.Delay(rng, from, to, at, kind)
+}
+
+// Compile-time interface checks.
+var (
+	_ DelayModel = SynchronousModel{}
+	_ DelayModel = EventuallySynchronousModel{}
+	_ DelayModel = AsynchronousModel{}
+	_ DelayModel = FixedDelayModel{}
+	_ DelayModel = ScriptedDelayModel{}
+)

@@ -1,0 +1,81 @@
+package sim
+
+// RNG is a deterministic SplitMix64 pseudo-random generator.
+//
+// Simulations must not use math/rand global state: every source of
+// randomness is an explicitly seeded RNG (or a fork of one), so that a run
+// is a pure function of its configuration. SplitMix64 passes BigCrush for
+// the uses here (delay jitter, victim selection, workload mixing) and forks
+// into statistically independent streams.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// independent streams; the zero seed is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Fork derives a new generator whose stream is independent of the parent's
+// subsequent output. Used to give each subsystem (network, churn, workload)
+// its own stream so adding draws in one does not perturb the others.
+func (r *RNG) Fork() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0,
+// matching math/rand semantics; callers validate n at configuration time.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n).
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// DurationBetween returns a uniformly distributed Duration in [lo, hi].
+// If hi <= lo it returns lo.
+func (r *RNG) DurationBetween(lo, hi Duration) Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Duration(r.Int63n(int64(hi-lo)+1))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

@@ -1,0 +1,183 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every experiment in this repository runs on:
+// a virtual clock whose domain is the set of non-negative integers (matching
+// the paper's time model), a binary-heap event scheduler with stable FIFO
+// ordering for simultaneous events, and deterministic timers.
+//
+// All randomness used by simulations comes from the seeded generators in
+// rng.go so that every run is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a point in virtual time. The paper's time model is the set of
+// positive integers; one Time unit corresponds to one paper time unit.
+type Time int64
+
+// Duration is a span of virtual time.
+type Duration int64
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String renders the time as a plain integer tick count.
+func (t Time) String() string { return fmt.Sprintf("t=%d", int64(t)) }
+
+// ErrStopped is returned by Run variants when StopNow interrupted the run.
+var ErrStopped = errors.New("sim: stopped")
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant so execution order is the scheduling order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; protocol code driven by it therefore needs no locks,
+// which is what makes simulated runs deterministic.
+type Scheduler struct {
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	stopped  bool
+}
+
+// NewScheduler returns a scheduler positioned at time 0 with an empty queue.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Executed returns the total number of events executed so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at time t. Scheduling in the past (before Now) is
+// clamped to Now: the event runs as soon as the scheduler resumes, which is
+// the only sensible semantics for a causal simulation.
+func (s *Scheduler) At(t Time, fn func()) {
+	if fn == nil {
+		return
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d time units from now. Negative durations are
+// clamped to zero.
+func (s *Scheduler) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// StopNow aborts the current Run call after the in-flight event completes.
+func (s *Scheduler) StopNow() { s.stopped = true }
+
+// Step executes the single next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.executed++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in timestamp order until the queue would advance
+// the clock beyond deadline, leaving later events pending. The clock is left
+// at deadline (or at the last executed event if the queue drained first).
+// It returns ErrStopped if StopNow was called during execution.
+func (s *Scheduler) RunUntil(deadline Time) error {
+	s.stopped = false
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
+// RunFor executes events for d time units from the current instant.
+func (s *Scheduler) RunFor(d Duration) error {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// Drain executes events until the queue is empty or maxEvents have run.
+// It returns the number of events executed and ErrStopped if interrupted.
+// A maxEvents of 0 means no cap.
+func (s *Scheduler) Drain(maxEvents uint64) (uint64, error) {
+	s.stopped = false
+	var ran uint64
+	for len(s.queue) > 0 {
+		if maxEvents > 0 && ran >= maxEvents {
+			return ran, nil
+		}
+		s.Step()
+		ran++
+		if s.stopped {
+			return ran, ErrStopped
+		}
+	}
+	return ran, nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event.
+// ok is false when the queue is empty.
+func (s *Scheduler) NextEventTime() (t Time, ok bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}

@@ -1,0 +1,406 @@
+// Package spec checks executions against register specifications.
+//
+// Experiments record every operation's invocation/response times and
+// result into a History; the checkers then decide, post hoc, whether the
+// execution is a legal behaviour of a regular register (§2.2), whether it
+// would also pass for an atomic register (no new/old inversions), and
+// whether it at least satisfies safety in Lamport's "safe register" sense.
+//
+// The checkers assume the paper's write discipline: writes are not
+// concurrent with one another (single writer, or coordinated writers).
+// ValidateWrites verifies the recorded history actually respects it.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"churnreg/internal/core"
+	"churnreg/internal/sim"
+)
+
+// OpKind distinguishes recorded operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one recorded operation.
+type Op struct {
+	Kind OpKind
+	Proc core.ProcessID
+	// Start is the invocation instant; End the response instant.
+	Start, End sim.Time
+	// Value: for a write, the value written (with its sequence number);
+	// for a completed read, the value returned.
+	Value core.VersionedValue
+	// Completed is false for operations still pending when the run ended
+	// (e.g. the invoker left, or liveness failed).
+	Completed bool
+	// Abandoned marks a pending operation whose invoker left the system.
+	// The paper's liveness property only covers invokers that stay, so
+	// abandoned operations are excluded from liveness accounting.
+	Abandoned bool
+}
+
+// overlaps reports whether the operation's interval intersects [s, e].
+// Incomplete operations extend to infinity.
+func (o *Op) overlaps(s, e sim.Time) bool {
+	if o.Start > e {
+		return false
+	}
+	return !o.Completed || o.End >= s
+}
+
+// History is an append-only record of operations. It is not safe for
+// concurrent use; the simulator is single-threaded and the live runtime
+// wraps it in a lock.
+type History struct {
+	ops []*Op
+	// initial is the register's initial value (the paper's virtual write
+	// with sequence number 0 completing at time 0).
+	initial core.VersionedValue
+}
+
+// NewHistory returns a history whose baseline is the initial value
+// (sequence number 0 at time 0).
+func NewHistory(initial core.VersionedValue) *History {
+	return &History{initial: initial}
+}
+
+// BeginWrite records a write invocation. The value's sequence number is
+// the one the protocol assigned (recorded at completion for protocols that
+// assign it late — pass Bottom here and fill it in Complete).
+func (h *History) BeginWrite(proc core.ProcessID, now sim.Time) *Op {
+	op := &Op{Kind: OpWrite, Proc: proc, Start: now}
+	h.ops = append(h.ops, op)
+	return op
+}
+
+// BeginRead records a read invocation.
+func (h *History) BeginRead(proc core.ProcessID, now sim.Time) *Op {
+	op := &Op{Kind: OpRead, Proc: proc, Start: now}
+	h.ops = append(h.ops, op)
+	return op
+}
+
+// CompleteWrite records the write's response with the value it wrote.
+func (h *History) CompleteWrite(op *Op, now sim.Time, v core.VersionedValue) {
+	op.End = now
+	op.Value = v
+	op.Completed = true
+}
+
+// CompleteRead records the read's response with the value it returned.
+func (h *History) CompleteRead(op *Op, now sim.Time, v core.VersionedValue) {
+	op.End = now
+	op.Value = v
+	op.Completed = true
+}
+
+// Abandon marks a pending operation as abandoned (its invoker left).
+// Completed operations are unaffected.
+func (h *History) Abandon(op *Op) {
+	if !op.Completed {
+		op.Abandoned = true
+	}
+}
+
+// Ops returns the recorded operations (live pointers; do not mutate).
+func (h *History) Ops() []*Op { return h.ops }
+
+// Initial returns the baseline value.
+func (h *History) Initial() core.VersionedValue { return h.initial }
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// Counts summarizes operation liveness.
+type Counts struct {
+	WritesBegun, WritesCompleted, WritesAbandoned int
+	ReadsBegun, ReadsCompleted, ReadsAbandoned    int
+}
+
+// WritesPending returns writes neither completed nor abandoned — the
+// number the liveness theorems say must be 0 at quiescence.
+func (c Counts) WritesPending() int { return c.WritesBegun - c.WritesCompleted - c.WritesAbandoned }
+
+// ReadsPending returns reads neither completed nor abandoned.
+func (c Counts) ReadsPending() int { return c.ReadsBegun - c.ReadsCompleted - c.ReadsAbandoned }
+
+// Counts tallies operation liveness.
+func (h *History) Counts() Counts {
+	var c Counts
+	for _, op := range h.ops {
+		switch op.Kind {
+		case OpWrite:
+			c.WritesBegun++
+			if op.Completed {
+				c.WritesCompleted++
+			} else if op.Abandoned {
+				c.WritesAbandoned++
+			}
+		case OpRead:
+			c.ReadsBegun++
+			if op.Completed {
+				c.ReadsCompleted++
+			} else if op.Abandoned {
+				c.ReadsAbandoned++
+			}
+		}
+	}
+	return c
+}
+
+// writes returns completed and pending writes sorted by start time, with
+// the virtual initial write prepended. Abandoned writes are skipped: they
+// were either never invoked (rejected at invocation) or cut short by the
+// invoker leaving; in the latter case their value, if it propagated at
+// all, carries a sequence number a later writer will supersede, and their
+// recorded value is ⊥ (allowedSNs guards it).
+func (h *History) writes() []*Op {
+	ws := []*Op{{
+		Kind:      OpWrite,
+		Start:     -1,
+		End:       0,
+		Value:     h.initial,
+		Completed: true,
+	}}
+	for _, op := range h.ops {
+		if op.Kind == OpWrite && !op.Abandoned {
+			ws = append(ws, op)
+		}
+	}
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	return ws
+}
+
+// ValidateWrites verifies the history respects the paper's write
+// discipline: no two writes overlap in time, and sequence numbers increase
+// with real-time order. A violation here means the workload (not the
+// protocol) is broken, so it is an error, not a Violation.
+func (h *History) ValidateWrites() error {
+	ws := h.writes()
+	for i := 1; i < len(ws); i++ {
+		prev, cur := ws[i-1], ws[i]
+		if prev.Completed && cur.Start < prev.End {
+			return fmt.Errorf("spec: writes overlap: %v(#%d) [%d,%d] and %v(#%d) starting %d",
+				prev.Proc, prev.Value.SN, prev.Start, prev.End, cur.Proc, cur.Value.SN, cur.Start)
+		}
+		if !prev.Completed {
+			return fmt.Errorf("spec: write %v(#%d) never completed but %v started later",
+				prev.Proc, prev.Value.SN, cur.Proc)
+		}
+		if cur.Completed && cur.Value.SN <= prev.Value.SN {
+			return fmt.Errorf("spec: write sequence numbers not increasing: #%d then #%d",
+				prev.Value.SN, cur.Value.SN)
+		}
+	}
+	return nil
+}
+
+// Violation describes a read that no regular register could return.
+type Violation struct {
+	Read *Op
+	// LastCompleted is the sequence number of the last write completed
+	// before the read's invocation.
+	LastCompleted core.SeqNum
+	// Allowed lists the sequence numbers a regular register could return.
+	Allowed []core.SeqNum
+	// Reason is a human-readable diagnosis.
+	Reason string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("read by %v [%d,%d] returned #%d: %s (allowed %v)",
+		v.Read.Proc, v.Read.Start, v.Read.End, v.Read.Value.SN, v.Reason, v.Allowed)
+}
+
+// CheckRegular returns every completed read that violates regularity: the
+// read must return the last value written before its invocation, or a
+// value written by a write concurrent with it.
+func (h *History) CheckRegular() []Violation {
+	ws := h.writes()
+	var out []Violation
+	for _, r := range h.ops {
+		if r.Kind != OpRead || !r.Completed {
+			continue
+		}
+		allowed := allowedSNs(ws, r)
+		ok := false
+		for _, sn := range allowed {
+			if r.Value.SN == sn {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			reason := "stale value"
+			if r.Value.IsBottom() {
+				reason = "returned ⊥"
+			} else if len(allowed) > 0 && r.Value.SN > allowed[len(allowed)-1] {
+				reason = "value from the future (sequence number never written in window)"
+			}
+			out = append(out, Violation{
+				Read:          r,
+				LastCompleted: lastCompletedSN(ws, r),
+				Allowed:       allowed,
+				Reason:        reason,
+			})
+		}
+	}
+	return out
+}
+
+// lastCompletedSN returns the sequence number of the last write completed
+// strictly before the read's invocation. A write whose response lands at
+// the same virtual instant as the read's invocation has no defined order
+// (events within one integer instant are unordered), so it counts as
+// concurrent instead — overlaps() picks it up.
+func lastCompletedSN(ws []*Op, r *Op) core.SeqNum {
+	last := core.BottomSN
+	for _, w := range ws {
+		if w.Completed && w.End < r.Start && w.Value.SN > last {
+			last = w.Value.SN
+		}
+	}
+	return last
+}
+
+// allowedSNs computes the sequence numbers a regular register may return
+// for read r: the last write completed before r's invocation plus every
+// write concurrent with r. The result is sorted ascending.
+func allowedSNs(ws []*Op, r *Op) []core.SeqNum {
+	set := make(map[core.SeqNum]bool)
+	if last := lastCompletedSN(ws, r); last != core.BottomSN {
+		set[last] = true
+	}
+	for _, w := range ws {
+		if w.overlaps(r.Start, r.End) {
+			// A write concurrent with the read. Incomplete writes have no
+			// recorded value when the workload recorded nothing; guard.
+			if w.Completed || !w.Value.IsBottom() {
+				set[w.Value.SN] = true
+			}
+		}
+	}
+	out := make([]core.SeqNum, 0, len(set))
+	for sn := range set {
+		out = append(out, sn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Inversion is a new/old inversion: two non-overlapping reads where the
+// later read returns an older value — legal for a regular register,
+// forbidden for an atomic one. The paper's introduction figure depicts
+// exactly this.
+type Inversion struct {
+	First, Second *Op
+}
+
+// String renders the inversion.
+func (iv Inversion) String() string {
+	return fmt.Sprintf("read by %v [%d,%d]=#%d precedes read by %v [%d,%d]=#%d",
+		iv.First.Proc, iv.First.Start, iv.First.End, iv.First.Value.SN,
+		iv.Second.Proc, iv.Second.Start, iv.Second.End, iv.Second.Value.SN)
+}
+
+// FindInversions returns every new/old inversion among completed reads.
+// An execution with zero regularity violations and zero inversions is a
+// legal atomic-register behaviour.
+func (h *History) FindInversions() []Inversion {
+	var reads []*Op
+	for _, op := range h.ops {
+		if op.Kind == OpRead && op.Completed {
+			reads = append(reads, op)
+		}
+	}
+	sort.SliceStable(reads, func(i, j int) bool { return reads[i].End < reads[j].End })
+	var out []Inversion
+	for i, r1 := range reads {
+		for _, r2 := range reads[i+1:] {
+			if r1.End < r2.Start && r1.Value.SN > r2.Value.SN {
+				out = append(out, Inversion{First: r1, Second: r2})
+			}
+		}
+	}
+	return out
+}
+
+// CheckMonotoneReads returns violations of the per-process session
+// guarantee: a single process's successive reads never observe a smaller
+// sequence number. The paper does not require this (regularity is a
+// global property), but both of its protocols provide it for free — the
+// local copy register_i only ever advances — so the checker verifies it
+// as an additional implementation invariant.
+func (h *History) CheckMonotoneReads() []Violation {
+	lastByProc := make(map[core.ProcessID]*Op)
+	var out []Violation
+	for _, r := range h.ops {
+		if r.Kind != OpRead || !r.Completed {
+			continue
+		}
+		if prev, ok := lastByProc[r.Proc]; ok && r.Value.SN < prev.Value.SN {
+			out = append(out, Violation{
+				Read:          r,
+				LastCompleted: prev.Value.SN,
+				Allowed:       []core.SeqNum{prev.Value.SN},
+				Reason:        "process read went backwards (session violation)",
+			})
+		}
+		lastByProc[r.Proc] = r
+	}
+	return out
+}
+
+// CheckSafe returns the reads violating Lamport's safe-register contract:
+// only reads NOT concurrent with any write are constrained (they must
+// return the last completed write's value); concurrent reads may return
+// anything.
+func (h *History) CheckSafe() []Violation {
+	ws := h.writes()
+	var out []Violation
+	for _, r := range h.ops {
+		if r.Kind != OpRead || !r.Completed {
+			continue
+		}
+		concurrent := false
+		for _, w := range ws[1:] { // skip the virtual initial write
+			if w.overlaps(r.Start, r.End) {
+				concurrent = true
+				break
+			}
+		}
+		if concurrent {
+			continue
+		}
+		last := lastCompletedSN(ws, r)
+		if r.Value.SN != last {
+			out = append(out, Violation{
+				Read:          r,
+				LastCompleted: last,
+				Allowed:       []core.SeqNum{last},
+				Reason:        "non-concurrent read returned wrong value",
+			})
+		}
+	}
+	return out
+}

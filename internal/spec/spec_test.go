@@ -1,0 +1,317 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"churnreg/internal/core"
+	"churnreg/internal/sim"
+)
+
+func initial() core.VersionedValue { return core.VersionedValue{Val: 0, SN: 0} }
+
+func vv(val core.Value, sn core.SeqNum) core.VersionedValue {
+	return core.VersionedValue{Val: val, SN: sn}
+}
+
+// write appends a completed write [s, e] with value #sn.
+func write(h *History, proc core.ProcessID, s, e sim.Time, sn core.SeqNum) *Op {
+	op := h.BeginWrite(proc, s)
+	h.CompleteWrite(op, e, vv(core.Value(sn*10), sn))
+	return op
+}
+
+// read appends a completed read [s, e] returning #sn.
+func read(h *History, proc core.ProcessID, s, e sim.Time, sn core.SeqNum) *Op {
+	op := h.BeginRead(proc, s)
+	h.CompleteRead(op, e, vv(core.Value(sn*10), sn))
+	return op
+}
+
+func TestReadOfInitialValueIsLegal(t *testing.T) {
+	h := NewHistory(initial())
+	read(h, 5, 10, 10, 0)
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+}
+
+func TestReadAfterCompletedWriteMustSeeIt(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	read(h, 2, 30, 30, 1) // fine
+	read(h, 3, 40, 40, 0) // stale!
+	vs := h.CheckRegular()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d (%v), want 1", len(vs), vs)
+	}
+	if vs[0].Read.Proc != 3 || vs[0].Reason != "stale value" {
+		t.Fatalf("wrong violation: %v", vs[0])
+	}
+	if vs[0].LastCompleted != 1 {
+		t.Fatalf("LastCompleted = %d, want 1", vs[0].LastCompleted)
+	}
+}
+
+func TestReadConcurrentWithWriteMayReturnEither(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	read(h, 2, 12, 15, 0) // old value during write: legal
+	read(h, 3, 14, 18, 1) // new value during write: legal
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+}
+
+func TestReadConcurrentWithTwoWritesMayReturnAnyOfThree(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	write(h, 1, 25, 35, 2)
+	// Read spans both writes: may return #0 (last before), #1, or #2.
+	for sn := core.SeqNum(0); sn <= 2; sn++ {
+		read(h, 2, 5, 40, sn)
+	}
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+	// But #0 is NOT legal for a read that starts after write #1 ended.
+	read(h, 3, 22, 23, 0)
+	vs := h.CheckRegular()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly the stale one", vs)
+	}
+}
+
+func TestValueNeverWrittenIsViolation(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	read(h, 2, 30, 31, 7) // sn 7 never written
+	vs := h.CheckRegular()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+}
+
+func TestBottomReadIsViolation(t *testing.T) {
+	h := NewHistory(initial())
+	op := h.BeginRead(2, 5)
+	h.CompleteRead(op, 6, core.Bottom())
+	vs := h.CheckRegular()
+	if len(vs) != 1 || vs[0].Reason != "returned ⊥" {
+		t.Fatalf("violations = %v, want one ⊥ read", vs)
+	}
+}
+
+func TestIncompleteWriteCountsAsConcurrent(t *testing.T) {
+	h := NewHistory(initial())
+	op := h.BeginWrite(1, 10)
+	op.Value = vv(10, 1) // value known, response never arrived
+	read(h, 2, 50, 51, 1)
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("read of in-flight write flagged: %v", v)
+	}
+	// The old value is also still legal (write never completed).
+	read(h, 3, 60, 61, 0)
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("old value during incomplete write flagged: %v", v)
+	}
+}
+
+func TestPendingReadsAreNotChecked(t *testing.T) {
+	h := NewHistory(initial())
+	h.BeginRead(2, 5)
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("pending read flagged: %v", v)
+	}
+	c := h.Counts()
+	if c.ReadsBegun != 1 || c.ReadsCompleted != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestNewOldInversionDetected(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 30, 1)
+	// r1 (ends first) sees the new value; r2 (starts after r1 ends) sees
+	// the old one. Regular: legal. Atomic: inversion.
+	read(h, 2, 12, 14, 1)
+	read(h, 3, 20, 22, 0)
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("regular violations = %v, want none", v)
+	}
+	invs := h.FindInversions()
+	if len(invs) != 1 {
+		t.Fatalf("inversions = %d (%v), want 1", len(invs), invs)
+	}
+	if invs[0].First.Proc != 2 || invs[0].Second.Proc != 3 {
+		t.Fatalf("wrong inversion pair: %v", invs[0])
+	}
+}
+
+func TestOverlappingReadsAreNotInversions(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 30, 1)
+	read(h, 2, 12, 25, 1)
+	read(h, 3, 20, 22, 0) // overlaps r1: no real-time order
+	if invs := h.FindInversions(); len(invs) != 0 {
+		t.Fatalf("overlapping reads flagged as inversion: %v", invs)
+	}
+}
+
+func TestCheckSafeIgnoresConcurrentReads(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	// Concurrent read returning garbage sn=99: fine for safe.
+	read(h, 2, 12, 15, 99)
+	// Non-concurrent read returning stale: safe violation.
+	read(h, 3, 30, 31, 0)
+	vs := h.CheckSafe()
+	if len(vs) != 1 || vs[0].Read.Proc != 3 {
+		t.Fatalf("safe violations = %v, want p3's read only", vs)
+	}
+}
+
+func TestValidateWritesAcceptsSequential(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	write(h, 2, 25, 30, 2) // another writer, later: allowed
+	if err := h.ValidateWrites(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateWritesRejectsOverlap(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	write(h, 2, 15, 25, 2)
+	if err := h.ValidateWrites(); err == nil {
+		t.Fatal("overlapping writes accepted")
+	}
+}
+
+func TestValidateWritesRejectsNonMonotonicSN(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 2)
+	write(h, 1, 25, 30, 1)
+	if err := h.ValidateWrites(); err == nil {
+		t.Fatal("non-monotonic sequence numbers accepted")
+	}
+}
+
+func TestCheckMonotoneReads(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 30, 1)
+	// p2's reads go 1 then 0: session violation. p3 reading 0 after p2's
+	// 1 is NOT one (different processes).
+	read(h, 2, 12, 13, 1)
+	read(h, 3, 15, 16, 0)
+	read(h, 2, 18, 19, 0)
+	vs := h.CheckMonotoneReads()
+	if len(vs) != 1 || vs[0].Read.Proc != 2 {
+		t.Fatalf("monotone violations = %v, want exactly p2's second read", vs)
+	}
+}
+
+func TestCheckMonotoneReadsCleanHistory(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	read(h, 2, 5, 6, 0)
+	read(h, 2, 25, 26, 1)
+	read(h, 2, 30, 31, 1)
+	if vs := h.CheckMonotoneReads(); len(vs) != 0 {
+		t.Fatalf("clean session flagged: %v", vs)
+	}
+}
+
+func TestCountsTally(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 1, 2, 1)
+	h.BeginWrite(1, 3)
+	read(h, 2, 4, 5, 1)
+	read(h, 2, 6, 7, 1)
+	h.BeginRead(3, 8)
+	c := h.Counts()
+	want := Counts{WritesBegun: 2, WritesCompleted: 1, ReadsBegun: 3, ReadsCompleted: 2}
+	if c != want {
+		t.Fatalf("counts = %+v, want %+v", c, want)
+	}
+}
+
+// Property: a history generated by a faithful sequential register (reads
+// return the value of the last write completed or started before them)
+// never triggers regular violations.
+func TestCheckRegularSoundnessProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		h := NewHistory(initial())
+		now := sim.Time(1)
+		cur := core.SeqNum(0)
+		for i := 0; i < 40; i++ {
+			if rng.Bool(0.4) {
+				// Sequential write.
+				cur++
+				s := now
+				e := s + sim.Time(1+rng.Int63n(5))
+				op := h.BeginWrite(1, s)
+				h.CompleteWrite(op, e, vv(core.Value(cur), cur))
+				now = e + 1
+			} else {
+				// Read strictly between writes: must return cur.
+				s := now
+				e := s + sim.Time(rng.Int63n(3))
+				op := h.BeginRead(core.ProcessID(2+rng.Intn(5)), s)
+				h.CompleteRead(op, e, vv(core.Value(cur), cur))
+				now = e + 1
+			}
+		}
+		return len(h.CheckRegular()) == 0 && len(h.CheckSafe()) == 0 && h.ValidateWrites() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corrupting any strictly-between-writes read to an older
+// sequence number is always flagged.
+func TestCheckRegularCompletenessProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		h := NewHistory(initial())
+		now := sim.Time(1)
+		var cur core.SeqNum
+		for cur = 1; cur <= 5; cur++ {
+			op := h.BeginWrite(1, now)
+			h.CompleteWrite(op, now+2, vv(core.Value(cur), cur))
+			now += 3
+		}
+		// A read after all writes, corrupted to a random older sn.
+		stale := core.SeqNum(rng.Int63n(5)) // 0..4 < 5
+		op := h.BeginRead(2, now)
+		h.CompleteRead(op, now+1, vv(core.Value(stale), stale))
+		return len(h.CheckRegular()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolationAndInversionStrings(t *testing.T) {
+	h := NewHistory(initial())
+	write(h, 1, 10, 20, 1)
+	read(h, 3, 40, 41, 0)
+	vs := h.CheckRegular()
+	if len(vs) != 1 || vs[0].String() == "" {
+		t.Fatalf("violation string empty: %v", vs)
+	}
+	read(h, 4, 50, 51, 1)
+	read(h, 5, 60, 61, 0)
+	invs := h.FindInversions()
+	for _, iv := range invs {
+		if iv.String() == "" {
+			t.Fatal("inversion string empty")
+		}
+	}
+	if OpWrite.String() != "write" || OpRead.String() != "read" {
+		t.Fatal("OpKind names wrong")
+	}
+}

@@ -1,0 +1,276 @@
+// Package syncreg implements the paper's synchronous-system regular
+// register protocol (§3, Figures 1 and 2).
+//
+// Protocol shape:
+//
+//   - join (Figure 1): initialize, wait δ (the pre-wait Figure 3 motivates),
+//     and if no WRITE arrived meanwhile, broadcast INQUIRY and wait 2δ (a
+//     broadcast round plus a point-to-point reply round); adopt the highest
+//     sequence number received; become active; answer inquiries deferred
+//     while joining.
+//   - read (Figure 2): purely local — return the local copy. This is the
+//     protocol's "fast reads" design point.
+//   - write (Figure 2): increment the sequence number, update the local
+//     copy, broadcast WRITE, wait δ so the broadcast's timely delivery
+//     property has taken effect everywhere, then return.
+//
+// Correctness requires the churn bound c < 1/(3δ) (Theorem 1); the package
+// does not enforce the bound — experiments explore both sides of it.
+package syncreg
+
+import (
+	"churnreg/internal/core"
+	"churnreg/internal/sim"
+)
+
+// Options tune the protocol for experiments.
+type Options struct {
+	// SkipInitialWait disables the wait(δ) at Figure 1 line 02. This is
+	// the broken variant of Figure 3a; it exists so experiment E1 can
+	// demonstrate the violation the wait prevents.
+	SkipInitialWait bool
+}
+
+// Node is one process running the synchronous protocol. It must only be
+// driven by a single-threaded runtime (core.Env guarantees this).
+type Node struct {
+	env  core.Env
+	opts Options
+
+	// register is the pair (register_i, sn_i); ⊥ while joining.
+	register core.VersionedValue
+	// active is active_i: true once join returned.
+	active bool
+	// replies is replies_i: best value received per replying process.
+	replies map[core.ProcessID]core.VersionedValue
+	// replyTo is reply_to_i: processes whose INQUIRY arrived while we were
+	// joining, in arrival order.
+	replyTo []core.ProcessID
+	// replyToSeen dedupes replyTo.
+	replyToSeen map[core.ProcessID]bool
+
+	joining      bool
+	joinDone     []func()
+	writing      bool
+	writeStarted sim.Time
+
+	stats Stats
+}
+
+// Stats counts protocol activity at this node.
+type Stats struct {
+	Reads            uint64
+	Writes           uint64
+	InquiriesServed  uint64
+	InquiriesDelayed uint64
+	StaleWritesSeen  uint64 // WRITE deliveries with sn <= local sn
+	JoinSkippedWait  bool   // join found register != ⊥ after the pre-wait
+}
+
+// New builds a node. Bootstrap nodes hold the initial value and are active
+// immediately; all others start the join operation when Start is called.
+func New(env core.Env, sc core.SpawnContext, opts Options) *Node {
+	n := &Node{
+		env:         env,
+		opts:        opts,
+		register:    core.Bottom(),
+		replies:     make(map[core.ProcessID]core.VersionedValue),
+		replyToSeen: make(map[core.ProcessID]bool),
+	}
+	if sc.Bootstrap {
+		n.register = sc.Initial
+		n.active = true
+	}
+	return n
+}
+
+// Factory returns a core.NodeFactory building nodes with opts.
+func Factory(opts Options) core.NodeFactory {
+	return func(env core.Env, sc core.SpawnContext) core.Node {
+		return New(env, sc, opts)
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Node        = (*Node)(nil)
+	_ core.LocalReader = (*Node)(nil)
+	_ core.Writer      = (*Node)(nil)
+	_ core.Joiner      = (*Node)(nil)
+)
+
+// Start implements core.Node: bootstrap nodes are active at once; others
+// run the join operation of Figure 1.
+func (n *Node) Start() {
+	if n.active {
+		n.env.MarkActive()
+		return
+	}
+	n.startJoin()
+}
+
+// startJoin is operation join(i), Figure 1 lines 01-12.
+func (n *Node) startJoin() {
+	n.joining = true
+	// Line 01: initialization happened in New (register=⊥, sets empty).
+	preWait := n.env.Delta()
+	if n.opts.SkipInitialWait {
+		preWait = 0
+	}
+	// Line 02: wait(δ). A write concurrent with the start of this join is
+	// guaranteed to have reached us by the end of the wait (its broadcast
+	// happened before we entered only if it also terminates before we
+	// finish waiting — see Figure 3b).
+	n.env.After(preWait, func() {
+		// Line 03: if register_i = ⊥ then inquire.
+		if !n.register.IsBottom() {
+			n.stats.JoinSkippedWait = true
+			n.completeJoin()
+			return
+		}
+		// Lines 04-06: broadcast INQUIRY(i) and wait 2δ (the broadcast
+		// dissemination bound plus the point-to-point reply bound).
+		n.replies = make(map[core.ProcessID]core.VersionedValue)
+		n.env.Broadcast(core.InquiryMsg{From: n.env.ID(), RSN: core.JoinReadSeq})
+		n.env.After(2*n.env.Delta(), n.completeJoin)
+	})
+}
+
+// completeJoin is Figure 1 lines 07-12.
+func (n *Node) completeJoin() {
+	if !n.joining {
+		return
+	}
+	n.joining = false
+	// Lines 07-08: adopt the most up-to-date value among the replies.
+	for _, v := range n.replies {
+		if v.MoreRecent(n.register) {
+			n.register = v
+		}
+	}
+	// Line 10: become active.
+	n.active = true
+	n.env.MarkActive()
+	// Line 11: answer inquiries deferred while we were joining.
+	for _, j := range n.replyTo {
+		n.env.Send(j, core.ReplyMsg{From: n.env.ID(), Value: n.register})
+	}
+	n.replyTo = nil
+	n.replyToSeen = make(map[core.ProcessID]bool)
+	// Line 12: return ok.
+	done := n.joinDone
+	n.joinDone = nil
+	for _, f := range done {
+		f()
+	}
+}
+
+// OnJoined implements core.Joiner: done runs when the join returns ok (or
+// immediately if it already has).
+func (n *Node) OnJoined(done func()) {
+	if done == nil {
+		return
+	}
+	if n.active {
+		done()
+		return
+	}
+	n.joinDone = append(n.joinDone, done)
+}
+
+// Active implements core.Node.
+func (n *Node) Active() bool { return n.active }
+
+// Snapshot implements core.Node.
+func (n *Node) Snapshot() core.VersionedValue { return n.register }
+
+// Stats returns a copy of this node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// ReadLocal implements core.LocalReader — operation read(), Figure 2: the
+// read is fast, returning the local copy with no communication and no wait.
+func (n *Node) ReadLocal() (core.VersionedValue, error) {
+	if !n.active {
+		return core.Bottom(), core.ErrNotActive
+	}
+	n.stats.Reads++
+	return n.register, nil
+}
+
+// Write implements core.Writer — operation write(v), Figure 2 lines 01-02.
+// The paper assumes writes are not concurrent with one another (one writer,
+// or coordinated writers); done runs when the write returns ok.
+func (n *Node) Write(v core.Value, done func()) error {
+	if !n.active {
+		return core.ErrNotActive
+	}
+	if n.writing {
+		return core.ErrOpInProgress
+	}
+	n.writing = true
+	n.writeStarted = n.env.Now()
+	n.stats.Writes++
+	// Line 01: sn_w := sn_w + 1; register := v; broadcast WRITE(v, sn_w).
+	n.register = core.VersionedValue{Val: v, SN: n.register.SN + 1}
+	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: n.register})
+	// Line 02: wait(δ); return ok. After δ every process present at the
+	// broadcast that has not left holds the value.
+	n.env.After(n.env.Delta(), func() {
+		n.writing = false
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// Deliver implements core.Node, dispatching the message handlers of
+// Figures 1 and 2.
+func (n *Node) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case core.InquiryMsg:
+		n.handleInquiry(msg)
+	case core.ReplyMsg:
+		n.handleReply(msg)
+	case core.WriteMsg:
+		n.handleWrite(msg)
+	default:
+		// Other kinds belong to the eventually synchronous protocol; a
+		// mixed deployment is a configuration bug we surface loudly in
+		// simulation rather than mask.
+		panic("syncreg: unexpected message kind " + m.Kind().String())
+	}
+}
+
+// handleInquiry is Figure 1 lines 13-16.
+func (n *Node) handleInquiry(m core.InquiryMsg) {
+	if n.active {
+		// Line 14: active processes answer immediately.
+		n.stats.InquiriesServed++
+		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.register})
+		return
+	}
+	// Line 15: postpone the answer until our own join completes.
+	n.stats.InquiriesDelayed++
+	if !n.replyToSeen[m.From] {
+		n.replyToSeen[m.From] = true
+		n.replyTo = append(n.replyTo, m.From)
+	}
+}
+
+// handleReply is Figure 1 line 17.
+func (n *Node) handleReply(m core.ReplyMsg) {
+	if cur, ok := n.replies[m.From]; !ok || m.Value.MoreRecent(cur) {
+		n.replies[m.From] = m.Value
+	}
+}
+
+// handleWrite is Figure 2 lines 03-04 — runs at any process, active or
+// joining (a joining process is in listening mode and applies writes).
+func (n *Node) handleWrite(m core.WriteMsg) {
+	if m.Value.MoreRecent(n.register) {
+		n.register = m.Value
+	} else {
+		n.stats.StaleWritesSeen++
+	}
+}

@@ -1,0 +1,22 @@
+package trace
+
+import (
+	"churnreg/internal/core"
+	"churnreg/internal/dynsys"
+)
+
+// Attach wires a system's network and lifecycle events into the log:
+// every send/deliver/drop, enter, activation, and departure appears on the
+// timeline. Call before running the simulation.
+func Attach(sys *dynsys.System, l *Log) {
+	sys.Network().SetTrace(NetTap(l))
+	sys.OnSpawn(func(id core.ProcessID, _ core.Node) {
+		l.Append(Event{At: sys.Now(), Kind: KindEnter, Proc: id})
+	})
+	sys.OnActivate(func(id core.ProcessID) {
+		l.Append(Event{At: sys.Now(), Kind: KindActive, Proc: id})
+	})
+	sys.OnKill(func(id core.ProcessID) {
+		l.Append(Event{At: sys.Now(), Kind: KindLeave, Proc: id})
+	})
+}

@@ -1,0 +1,142 @@
+package churnreg
+
+import (
+	"fmt"
+	"time"
+
+	"churnreg/internal/core"
+	"churnreg/internal/livenet"
+	"churnreg/internal/sim"
+)
+
+// LiveCluster runs the chosen protocol in real time: one goroutine per
+// process, channels as links, wall-clock δ. It is safe for concurrent use.
+//
+// Unlike SimCluster there is no churn engine — the caller drives
+// membership with Join and Leave (see examples/socialprofile for a churn
+// loop) — and no built-in history checking (real-time response instants
+// are not exact enough to adjudicate boundary cases).
+type LiveCluster struct {
+	opts    options
+	cluster *livenet.Cluster
+	writer  core.ProcessID
+}
+
+// NewLiveCluster builds and starts a real-time cluster of n processes.
+func NewLiveCluster(opt ...Option) (*LiveCluster, error) {
+	o := defaults()
+	for _, f := range opt {
+		f(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	cl, err := livenet.New(livenet.Config{
+		N:       o.n,
+		Delta:   sim.Duration(o.delta),
+		Tick:    o.tick,
+		Factory: o.factory(),
+		Seed:    o.seed,
+		Initial: core.VersionedValue{Val: core.Value(o.initial), SN: 0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lc := &LiveCluster{opts: o, cluster: cl}
+	if ids := cl.IDs(); len(ids) > 0 {
+		lc.writer = ids[0]
+	}
+	return lc, nil
+}
+
+// Close shuts the cluster down and waits for every process goroutine.
+func (c *LiveCluster) Close() { c.cluster.Close() }
+
+// Size returns the number of present processes.
+func (c *LiveCluster) Size() int { return c.cluster.Size() }
+
+// IDs returns the present processes' identities.
+func (c *LiveCluster) IDs() []ProcessID { return c.cluster.IDs() }
+
+// Join adds a fresh process and blocks until its join operation returns.
+func (c *LiveCluster) Join() (ProcessID, error) {
+	id, err := c.cluster.Spawn()
+	if err != nil {
+		return id, err
+	}
+	if err := c.cluster.WaitActive(id, c.opts.opTimeout); err != nil {
+		return id, fmt.Errorf("churnreg: live join %v: %w", id, err)
+	}
+	return id, nil
+}
+
+// Leave removes the process immediately and forever.
+func (c *LiveCluster) Leave(id ProcessID) error { return c.cluster.Kill(id) }
+
+// WriterID returns the currently designated writer process.
+func (c *LiveCluster) WriterID() ProcessID { return c.writer }
+
+// Write stores v via the designated writer process. Calls must not be
+// issued concurrently with one another (the paper's write discipline).
+func (c *LiveCluster) Write(v int64) error {
+	err := c.cluster.Write(c.writer, core.Value(v), c.opts.opTimeout)
+	if err == livenet.ErrAbsent {
+		// The writer left; adopt another process and retry once. Before
+		// the successor writes it must hold the departed writer's last
+		// value, or it would mint a new value under an already-used
+		// sequence number (two different values with one sn — a permanent
+		// split). The last write returned at most δ after its broadcast,
+		// so in a timing-honest run the value reaches everyone within δ
+		// of the departure; wait several δ of real time to also absorb
+		// scheduler slop.
+		time.Sleep(5 * time.Duration(c.opts.delta) * c.opts.tick)
+		ids := c.cluster.IDs()
+		if len(ids) == 0 {
+			return ErrNoActiveProcess
+		}
+		c.writer = ids[0]
+		err = c.cluster.Write(c.writer, core.Value(v), c.opts.opTimeout)
+	}
+	if err != nil {
+		return fmt.Errorf("churnreg: live write: %w", err)
+	}
+	return nil
+}
+
+// WriteAt stores v via a specific process.
+func (c *LiveCluster) WriteAt(id ProcessID, v int64) error {
+	if err := c.cluster.Write(id, core.Value(v), c.opts.opTimeout); err != nil {
+		return fmt.Errorf("churnreg: live write at %v: %w", id, err)
+	}
+	return nil
+}
+
+// ReadAt reads via a specific process.
+func (c *LiveCluster) ReadAt(id ProcessID) (int64, error) {
+	v, err := c.cluster.Read(id, c.opts.opTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("churnreg: live read at %v: %w", id, err)
+	}
+	if v.IsBottom() {
+		return 0, ErrValueUnavailable
+	}
+	return int64(v.Val), nil
+}
+
+// Read reads via any present process (first listed).
+func (c *LiveCluster) Read() (int64, error) {
+	ids := c.cluster.IDs()
+	if len(ids) == 0 {
+		return 0, ErrNoActiveProcess
+	}
+	// Prefer a process that is not the writer, mirroring how a client
+	// would load-balance reads.
+	for _, id := range ids {
+		if id != c.writer {
+			if v, err := c.ReadAt(id); err == nil {
+				return v, nil
+			}
+		}
+	}
+	return c.ReadAt(c.writer)
+}

@@ -1,0 +1,266 @@
+package churnreg
+
+import (
+	"fmt"
+	"strings"
+
+	"churnreg/internal/core"
+	"churnreg/internal/dynsys"
+	"churnreg/internal/sim"
+	"churnreg/internal/spec"
+)
+
+// SimCluster is a deterministic simulated dynamic system hosting one
+// regular register. All methods drive the simulation forward as needed;
+// between calls, virtual time stands still. Not safe for concurrent use
+// (the simulation is single-threaded by design).
+type SimCluster struct {
+	opts    options
+	sys     *dynsys.System
+	history *spec.History
+	writer  core.ProcessID
+	// shielded processes are exempt from churn while a blocking operation
+	// runs on them ("the invoking process does not leave").
+	shielded map[core.ProcessID]bool
+	// stepBudget bounds how long a single blocking operation may advance
+	// virtual time before reporting a liveness failure.
+	stepBudget sim.Duration
+}
+
+// NewSimCluster builds a simulated cluster: n bootstrap processes holding
+// the initial value, churn running at the configured rate, and the chosen
+// protocol on every process.
+func NewSimCluster(opt ...Option) (*SimCluster, error) {
+	o := defaults()
+	for _, f := range opt {
+		f(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	c := &SimCluster{
+		opts:       o,
+		shielded:   make(map[core.ProcessID]bool),
+		stepBudget: sim.Duration(o.opTimeout / o.tick),
+	}
+	sys, err := dynsys.New(dynsys.Config{
+		N:           o.n,
+		Delta:       sim.Duration(o.delta),
+		Model:       o.model(),
+		Factory:     o.factory(),
+		Seed:        o.seed,
+		ChurnRate:   o.churnRate,
+		ChurnPolicy: o.policy,
+		MinLifetime: sim.Duration(o.minLifetime),
+		Protect:     func(id core.ProcessID) bool { return id == c.writer || c.shielded[id] },
+		Initial:     core.VersionedValue{Val: core.Value(o.initial), SN: 0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.sys = sys
+	c.history = spec.NewHistory(core.VersionedValue{Val: core.Value(o.initial), SN: 0})
+	return c, nil
+}
+
+// Now returns the current virtual time in ticks.
+func (c *SimCluster) Now() int64 { return int64(c.sys.Now()) }
+
+// Run advances the simulation by d ticks (churn and in-flight protocol
+// activity proceed; no new operations are issued).
+func (c *SimCluster) Run(d int64) {
+	_ = c.sys.RunFor(sim.Duration(d))
+}
+
+// Size returns the number of processes currently in the system (always n).
+func (c *SimCluster) Size() int { return c.sys.Network().Size() }
+
+// ActiveCount returns |A(now)|: processes whose join has returned.
+func (c *SimCluster) ActiveCount() int { return len(c.sys.ActiveIDs()) }
+
+// ActiveIDs returns the active processes' identities.
+func (c *SimCluster) ActiveIDs() []ProcessID { return c.sys.ActiveIDs() }
+
+// Join makes a fresh process enter the system, then runs the simulation
+// until its join operation returns. The paper's liveness theorems say this
+// terminates as long as the process stays; the cluster protects it from
+// churn while it waits.
+func (c *SimCluster) Join() (ProcessID, error) {
+	id, node := c.sys.Spawn()
+	j, ok := node.(core.Joiner)
+	if !ok {
+		return id, nil
+	}
+	// Shield the joiner so "the invoking process does not leave".
+	c.shielded[id] = true
+	defer delete(c.shielded, id)
+	done := false
+	j.OnJoined(func() { done = true })
+	if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
+		return id, fmt.Errorf("churnreg: join %v: %w", id, err)
+	}
+	return id, nil
+}
+
+// Leave makes the process leave the system immediately and forever.
+func (c *SimCluster) Leave(id ProcessID) { c.sys.KillProcess(id) }
+
+// Write stores v in the register via an active process (a stable
+// designated writer when available) and runs the simulation until the
+// write returns ok. Writes from a SimCluster are sequential by
+// construction, matching the paper's one-writer-at-a-time discipline.
+func (c *SimCluster) Write(v int64) error {
+	id, err := c.pickWriter()
+	if err != nil {
+		return err
+	}
+	node := c.sys.Node(id)
+	w, ok := node.(core.Writer)
+	if !ok {
+		return fmt.Errorf("churnreg: protocol %v cannot write", c.opts.protocol)
+	}
+	op := c.history.BeginWrite(id, c.sys.Now())
+	done := false
+	if err := w.Write(core.Value(v), func() {
+		c.history.CompleteWrite(op, c.sys.Now(), node.Snapshot())
+		done = true
+	}); err != nil {
+		c.history.Abandon(op)
+		return fmt.Errorf("churnreg: write: %w", err)
+	}
+	if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
+		c.history.Abandon(op)
+		return fmt.Errorf("churnreg: write: %w", err)
+	}
+	return nil
+}
+
+// Read returns the register's value as seen by a random active process,
+// running the simulation until the read returns.
+func (c *SimCluster) Read() (int64, error) {
+	id, ok := c.sys.RandomActive()
+	if !ok {
+		return 0, ErrNoActiveProcess
+	}
+	return c.ReadAt(id)
+}
+
+// ReadAt reads via a specific active process.
+func (c *SimCluster) ReadAt(id ProcessID) (int64, error) {
+	node := c.sys.Node(id)
+	if node == nil {
+		return 0, fmt.Errorf("churnreg: %v: %w", id, ErrNoActiveProcess)
+	}
+	op := c.history.BeginRead(id, c.sys.Now())
+	switch n := node.(type) {
+	case core.LocalReader:
+		v, err := n.ReadLocal()
+		if err != nil {
+			c.history.Abandon(op)
+			return 0, fmt.Errorf("churnreg: read: %w", err)
+		}
+		c.history.CompleteRead(op, c.sys.Now(), v)
+		return int64(v.Val), nil
+	case core.Reader:
+		// Shield the reader while the cluster blocks on its quorum read
+		// (the paper's liveness assumes the invoker does not leave).
+		c.shielded[id] = true
+		defer delete(c.shielded, id)
+		var got core.VersionedValue
+		done := false
+		if err := n.Read(func(v core.VersionedValue) {
+			got = v
+			c.history.CompleteRead(op, c.sys.Now(), v)
+			done = true
+		}); err != nil {
+			c.history.Abandon(op)
+			return 0, fmt.Errorf("churnreg: read: %w", err)
+		}
+		if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
+			c.history.Abandon(op)
+			return 0, fmt.Errorf("churnreg: read: %w", err)
+		}
+		if got.IsBottom() {
+			return 0, ErrValueUnavailable
+		}
+		return int64(got.Val), nil
+	default:
+		c.history.Abandon(op)
+		return 0, fmt.Errorf("churnreg: protocol %v cannot read", c.opts.protocol)
+	}
+}
+
+// pickWriter returns a stable active writer, electing a new one when the
+// previous writer left. The elected writer is protected from churn.
+func (c *SimCluster) pickWriter() (core.ProcessID, error) {
+	if c.writer != core.NoProcess && c.sys.Present(c.writer) {
+		if n := c.sys.Node(c.writer); n != nil && n.Active() {
+			return c.writer, nil
+		}
+	}
+	id, ok := c.sys.RandomActive()
+	if !ok {
+		return core.NoProcess, ErrNoActiveProcess
+	}
+	c.writer = id
+	return id, nil
+}
+
+// await advances the simulation until *done, the abort condition, or the
+// step budget is exhausted.
+func (c *SimCluster) await(done *bool, aborted func() bool) error {
+	var spent sim.Duration
+	for !*done {
+		if aborted != nil && aborted() {
+			return fmt.Errorf("invoking process left the system")
+		}
+		if spent >= c.stepBudget {
+			return fmt.Errorf("no progress after %d ticks (liveness lost?)", spent)
+		}
+		if err := c.sys.RunFor(1); err != nil {
+			return err
+		}
+		spent++
+	}
+	return nil
+}
+
+// CheckReport summarizes correctness over everything the cluster recorded.
+type CheckReport struct {
+	// Reads / Writes completed.
+	Reads, Writes int
+	// RegularViolations lists reads no regular register could return.
+	RegularViolations []string
+	// Inversions counts new/old inversions — legal for a regular
+	// register, but the reason this register is not atomic.
+	Inversions int
+}
+
+// OK reports whether the execution is a legal regular-register behaviour.
+func (r CheckReport) OK() bool { return len(r.RegularViolations) == 0 }
+
+// String renders the report.
+func (r CheckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reads=%d writes=%d inversions=%d violations=%d",
+		r.Reads, r.Writes, r.Inversions, len(r.RegularViolations))
+	for _, v := range r.RegularViolations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// Check verifies every operation issued through this cluster against the
+// regular-register specification.
+func (c *SimCluster) Check() CheckReport {
+	counts := c.history.Counts()
+	rep := CheckReport{
+		Reads:      counts.ReadsCompleted,
+		Writes:     counts.WritesCompleted,
+		Inversions: len(c.history.FindInversions()),
+	}
+	for _, v := range c.history.CheckRegular() {
+		rep.RegularViolations = append(rep.RegularViolations, v.String())
+	}
+	return rep
+}
