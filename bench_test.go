@@ -7,6 +7,7 @@ package churnreg_test
 // the bottom characterize the simulator and protocol hot paths.
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -158,6 +159,48 @@ func BenchmarkSimulatedOpsESync(b *testing.B) {
 		if _, err := c.Read(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMultiKeyThroughput measures keyed-namespace scaling: write+read
+// pairs spread round-robin over K registers of one cluster, under churn,
+// so the per-process join cost (one INQUIRY, ever) is amortized across
+// every key. The headline is that ns/op stays roughly flat as K grows —
+// per-op cost is sublinear in key count, because only per-key state
+// multiplies while membership work does not. Run with -bench
+// MultiKeyThroughput and compare ns/op across the sub-benchmarks.
+func BenchmarkMultiKeyThroughput(b *testing.B) {
+	for _, keys := range []int{1, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			c, err := churnreg.NewSimCluster(
+				churnreg.WithN(20),
+				churnreg.WithDelta(5),
+				churnreg.WithChurnRate(0.01),
+				churnreg.WithSeed(benchSeed),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := c.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := churnreg.RegisterID(i % keys)
+				if err := c.WriteKey(k, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.ReadKey(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if rep := c.Check(); !rep.OK() {
+				b.Fatalf("regularity violated during bench: %s", rep)
+			}
+			elapsed := c.Now() - start
+			if elapsed > 0 {
+				b.ReportMetric(float64(2*b.N)/float64(elapsed), "simops/tick")
+			}
+		})
 	}
 }
 

@@ -17,6 +17,13 @@
 //   - LiveCluster: a real-time runtime (goroutine per process, channels
 //     as links) running the identical protocol state machines.
 //
+// Beyond the paper's single register, every cluster hosts a KEYED
+// NAMESPACE of independent regular registers over one membership
+// substrate: ReadKey/WriteKey address any RegisterID (keys spring up on
+// first use; Read/Write are key-0 sugar), a process joins ONCE however
+// many keys it serves (join replies carry a snapshot of the replier's
+// whole register space), and the checker verifies regularity per key.
+//
 // Quick start:
 //
 //	c, err := churnreg.NewSimCluster(
@@ -35,6 +42,7 @@ package churnreg
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"churnreg/internal/abd"
@@ -92,6 +100,7 @@ type options struct {
 	seed        uint64
 	protocol    Protocol
 	initial     int64
+	initialKeys []core.KeyedValue
 	gst         int64
 	preGSTMax   int64
 	minLifetime int64
@@ -132,8 +141,27 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 // WithProtocol selects the register implementation (default Synchronous).
 func WithProtocol(p Protocol) Option { return func(o *options) { o.protocol = p } }
 
-// WithInitialValue sets the register's initial value (default 0).
+// WithInitialValue sets register 0's initial value (default 0).
 func WithInitialValue(v int64) Option { return func(o *options) { o.initial = v } }
+
+// WithInitialKeys pre-provisions registers beyond key 0 on the bootstrap
+// population: each named key starts holding its value with sequence
+// number 0, known to every bootstrap process. Keys outside the map (and
+// outside key 0) still work — they spring up lazily on first use with
+// initial value 0. Must not name DefaultRegister (use WithInitialValue).
+func WithInitialKeys(init map[RegisterID]int64) Option {
+	return func(o *options) {
+		ks := make([]RegisterID, 0, len(init))
+		for k := range init {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		o.initialKeys = make([]core.KeyedValue, len(ks))
+		for i, k := range ks {
+			o.initialKeys[i] = core.KeyedValue{Reg: k, Value: core.VersionedValue{Val: core.Value(init[k])}}
+		}
+	}
+}
 
 // WithGST makes the simulated network eventually synchronous: before tick
 // gst, message delays are unbounded (up to preGSTMax); from gst on they
@@ -169,6 +197,11 @@ func (o options) validate() error {
 	case Synchronous, EventuallySynchronous, StaticABD:
 	default:
 		return fmt.Errorf("churnreg: unknown protocol %d", int(o.protocol))
+	}
+	for _, kv := range o.initialKeys {
+		if kv.Reg == core.DefaultRegister {
+			return fmt.Errorf("churnreg: WithInitialKeys must not name register 0 (use WithInitialValue)")
+		}
 	}
 	return nil
 }
@@ -208,3 +241,11 @@ func ESyncChurnBound(delta int64, n int) float64 {
 
 // ProcessID identifies a process in a cluster (re-exported for callers).
 type ProcessID = core.ProcessID
+
+// RegisterID names one register of a cluster's keyed namespace
+// (re-exported for callers). Key 0 is the register the plain Read/Write
+// methods address; ReadKey/WriteKey reach the rest. Registers spring into
+// existence on first use — there is no create step and no bound on the
+// number of keys — while the churn-bound join machinery runs once per
+// process regardless of how many keys it touches.
+type RegisterID = core.RegisterID

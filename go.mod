@@ -1,0 +1,3 @@
+module churnreg
+
+go 1.24

@@ -1,14 +1,15 @@
 // Package abd implements a single-writer majority-quorum register in the
 // style of Attiya, Bar-Noy and Dolev ("Sharing Memory Robustly in
 // Message-Passing Systems", JACM 1995) — the static-system construction the
-// paper cites as [3] and contrasts its dynamic protocols against.
+// paper cites as [3] and contrasts its dynamic protocols against — over
+// the keyed register namespace.
 //
 // The protocol assumes a fixed membership of n processes of which a
 // majority never fails:
 //
-//   - write(v): increment the writer's sequence number, send WRITE to all,
-//     wait for ⌊n/2⌋+1 ACKs.
-//   - read: send READ to all, wait for ⌊n/2⌋+1 REPLYs, return the value
+//   - write(k, v): increment the writer's sequence number for key k, send
+//     WRITE to all, wait for ⌊n/2⌋+1 ACKs naming k.
+//   - read(k): send READ to all, wait for ⌊n/2⌋+1 REPLYs, return the value
 //     with the highest sequence number. (No write-back phase: a regular
 //     register does not need one; the write-back is what upgrades ABD
 //     reads to atomic.)
@@ -21,28 +22,41 @@
 // deployment. The experiments show how regularity erodes as turnover
 // replaces informed replicas with empty ones — the motivation for the
 // paper's churn-aware joins.
+//
+// Per-key state mirrors the dynamic protocols: one map of local copies,
+// one map of in-flight quorum operations, instantiated lazily. Operations
+// on distinct keys may run concurrently on one node.
 package abd
 
 import (
 	"churnreg/internal/core"
 )
 
-// Node is one process running the static ABD-style protocol.
-type Node struct {
-	env core.Env
-
-	register core.VersionedValue
-	active   bool // bootstrap processes only; replacements stay passive
-
-	reading  bool
-	readSN   core.ReadSeq
-	replies  map[core.ProcessID]core.VersionedValue
-	readDone func(core.VersionedValue)
+// kop is one key's in-flight quorum operation state.
+type kop struct {
+	reading     bool
+	readRSN     core.ReadSeq
+	readReplies map[core.ProcessID]core.VersionedValue
+	readDone    func(core.VersionedValue)
 
 	writing   bool
 	writeSN   core.SeqNum
 	writeAck  map[core.ProcessID]bool
 	writeDone func()
+}
+
+func (o *kop) busy() bool { return o.reading || o.writing }
+
+// Node is one process running the static ABD-style protocol.
+type Node struct {
+	env core.Env
+
+	vals   *core.RegStore
+	active bool // bootstrap processes only; replacements stay passive
+
+	readSN core.ReadSeq
+	ops    map[core.RegisterID]*kop
+	rsnReg map[core.ReadSeq]core.RegisterID
 
 	stats Stats
 }
@@ -60,15 +74,12 @@ type Stats struct {
 // processes are passive replicas (see the package comment).
 func New(env core.Env, sc core.SpawnContext) *Node {
 	n := &Node{
-		env:      env,
-		register: core.Bottom(),
-		replies:  make(map[core.ProcessID]core.VersionedValue),
-		writeAck: make(map[core.ProcessID]bool),
+		env:    env,
+		vals:   core.NewRegStore(sc),
+		ops:    make(map[core.RegisterID]*kop),
+		rsnReg: make(map[core.ReadSeq]core.RegisterID),
 	}
-	if sc.Bootstrap {
-		n.register = sc.Initial
-		n.active = true
-	}
+	n.active = sc.Bootstrap
 	return n
 }
 
@@ -81,12 +92,33 @@ func Factory() core.NodeFactory {
 
 // Compile-time interface checks.
 var (
-	_ core.Node   = (*Node)(nil)
-	_ core.Reader = (*Node)(nil)
-	_ core.Writer = (*Node)(nil)
+	_ core.Node             = (*Node)(nil)
+	_ core.Reader           = (*Node)(nil)
+	_ core.Writer           = (*Node)(nil)
+	_ core.KeyedReader      = (*Node)(nil)
+	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.KeyedSnapshotter = (*Node)(nil)
 )
 
 func (n *Node) majority() int { return n.env.SystemSize()/2 + 1 }
+
+// value and merge are per-key store accessors; passive replicas and
+// unseen keys fall back to ⊥ / the implicit initial exactly like the
+// dynamic protocols (see core.RegStore.Value).
+func (n *Node) value(k core.RegisterID) core.VersionedValue { return n.vals.Value(k, n.active) }
+
+func (n *Node) merge(k core.RegisterID, v core.VersionedValue) {
+	n.vals.Merge(k, v, n.active)
+}
+
+func (n *Node) op(k core.RegisterID) *kop {
+	o, ok := n.ops[k]
+	if !ok {
+		o = &kop{}
+		n.ops[k] = o
+	}
+	return o
+}
 
 // Start implements core.Node. Bootstrap processes are active; replacements
 // have no join protocol to run and stay passive.
@@ -99,73 +131,96 @@ func (n *Node) Start() {
 // Active implements core.Node.
 func (n *Node) Active() bool { return n.active }
 
-// Snapshot implements core.Node.
-func (n *Node) Snapshot() core.VersionedValue { return n.register }
+// Snapshot implements core.Node (key 0's local copy).
+func (n *Node) Snapshot() core.VersionedValue { return n.value(core.DefaultRegister) }
+
+// SnapshotKey implements core.KeyedSnapshotter.
+func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue { return n.value(k) }
+
+// Keys implements core.KeyedSnapshotter.
+func (n *Node) Keys() []core.RegisterID { return n.vals.Keys() }
 
 // Stats returns a copy of this node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
-// Read implements core.Reader: query all, adopt the majority's freshest
-// value.
+// Read implements core.Reader — key-0 sugar for ReadKey.
 func (n *Node) Read(done func(core.VersionedValue)) error {
+	return n.ReadKey(core.DefaultRegister, done)
+}
+
+// ReadKey implements core.KeyedReader: query all, adopt the majority's
+// freshest value for the key.
+func (n *Node) ReadKey(k core.RegisterID, done func(core.VersionedValue)) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	if n.reading || n.writing {
+	o := n.op(k)
+	if o.busy() {
 		return core.ErrOpInProgress
 	}
 	n.stats.Reads++
 	n.readSN++
-	n.replies = make(map[core.ProcessID]core.VersionedValue)
-	n.reading = true
-	n.readDone = done
-	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: n.readSN})
+	o.reading = true
+	o.readRSN = n.readSN
+	o.readReplies = make(map[core.ProcessID]core.VersionedValue)
+	o.readDone = done
+	n.rsnReg[o.readRSN] = k
+	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: o.readRSN, Reg: k})
 	return nil
 }
 
-func (n *Node) checkRead() {
-	if !n.reading || len(n.replies) < n.majority() {
+func (n *Node) checkRead(k core.RegisterID, o *kop) {
+	if !o.reading || len(o.readReplies) < n.majority() {
 		return
 	}
-	for _, v := range n.replies {
-		if v.MoreRecent(n.register) {
-			n.register = v
-		}
+	for _, v := range o.readReplies {
+		n.merge(k, v)
 	}
-	n.reading = false
-	done := n.readDone
-	n.readDone = nil
+	o.reading = false
+	delete(n.rsnReg, o.readRSN)
+	o.readReplies = nil
+	done := o.readDone
+	o.readDone = nil
 	if done != nil {
-		done(n.register)
+		done(n.value(k))
 	}
 }
 
-// Write implements core.Writer. Single-writer: the writer's own sequence
-// number is authoritative, so no read phase is needed.
+// Write implements core.Writer — key-0 sugar for WriteKey.
 func (n *Node) Write(v core.Value, done func()) error {
+	return n.WriteKey(core.DefaultRegister, v, done)
+}
+
+// WriteKey implements core.KeyedWriter. Single-writer: the writer's own
+// sequence number for the key is authoritative, so no read phase is
+// needed.
+func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	if n.reading || n.writing {
+	o := n.op(k)
+	if o.busy() {
 		return core.ErrOpInProgress
 	}
 	n.stats.Writes++
-	n.register = core.VersionedValue{Val: v, SN: n.register.SN + 1}
-	n.writeSN = n.register.SN
-	n.writeAck = make(map[core.ProcessID]bool)
-	n.writing = true
-	n.writeDone = done
-	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: n.register})
+	next := core.VersionedValue{Val: v, SN: n.value(k).SN + 1}
+	n.vals.Store(k, next)
+	o.writing = true
+	o.writeSN = next.SN
+	o.writeAck = make(map[core.ProcessID]bool)
+	o.writeDone = done
+	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k})
 	return nil
 }
 
-func (n *Node) checkWrite() {
-	if !n.writing || len(n.writeAck) < n.majority() {
+func (n *Node) checkWrite(o *kop) {
+	if !o.writing || len(o.writeAck) < n.majority() {
 		return
 	}
-	n.writing = false
-	done := n.writeDone
-	n.writeDone = nil
+	o.writing = false
+	o.writeAck = nil
+	done := o.writeDone
+	o.writeDone = nil
 	if done != nil {
 		done()
 	}
@@ -178,29 +233,34 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 		// Every replica answers — including passive replacements, which
 		// may only have ⊥. That is the naive-membership failure mode the
 		// experiments measure.
-		if n.register.IsBottom() {
+		v := n.value(msg.Reg)
+		if v.IsBottom() {
 			n.stats.BottomSent++
 		}
 		n.stats.RepliesSent++
-		n.env.Send(msg.From, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: msg.RSN})
+		n.env.Send(msg.From, core.ReplyMsg{From: n.env.ID(), Value: v, RSN: msg.RSN, Reg: msg.Reg})
 	case core.ReplyMsg:
-		if msg.RSN != n.readSN {
+		k, open := n.rsnReg[msg.RSN]
+		if !open {
 			return
 		}
-		if cur, ok := n.replies[msg.From]; !ok || msg.Value.MoreRecent(cur) {
-			n.replies[msg.From] = msg.Value
+		o := n.ops[k]
+		if cur, ok := o.readReplies[msg.From]; !ok || msg.Value.MoreRecent(cur) {
+			o.readReplies[msg.From] = msg.Value
 		}
-		n.checkRead()
+		n.checkRead(k, o)
 	case core.WriteMsg:
-		if msg.Value.MoreRecent(n.register) {
-			n.register = msg.Value
-		}
+		n.merge(msg.Reg, msg.Value)
 		n.stats.AcksSent++
-		n.env.Send(msg.From, core.AckMsg{From: n.env.ID(), SN: msg.Value.SN})
+		n.env.Send(msg.From, core.AckMsg{From: n.env.ID(), SN: msg.Value.SN, Reg: msg.Reg})
 	case core.AckMsg:
-		if n.writing && msg.SN == n.writeSN {
-			n.writeAck[msg.From] = true
-			n.checkWrite()
+		o, ok := n.ops[msg.Reg]
+		if !ok {
+			return
+		}
+		if o.writing && msg.SN == o.writeSN {
+			o.writeAck[msg.From] = true
+			n.checkWrite(o)
 		}
 	default:
 		panic("abd: unexpected message kind " + m.Kind().String())

@@ -139,12 +139,13 @@ func (n *Node) checkWriteBack() {
 }
 
 // Deliver implements core.Node: write-back ACKs are consumed here; all
-// other traffic flows to the inner regular node. While a write-back is in
-// flight the inner node is neither reading nor writing (node operations
-// are sequential), so an ACK matching wbSN can only belong to the
-// write-back.
+// other traffic flows to the inner regular node. The atomic upgrade is
+// exposed for the default register only, so only key-0 ACKs are eligible.
+// While a write-back is in flight the inner node is neither reading nor
+// writing key 0 (this wrapper's operations are sequential), so a key-0
+// ACK matching wbSN can only belong to the write-back.
 func (n *Node) Deliver(from core.ProcessID, m core.Message) {
-	if ack, ok := m.(core.AckMsg); ok && n.wbActive && ack.SN == n.wbSN {
+	if ack, ok := m.(core.AckMsg); ok && ack.Reg == core.DefaultRegister && n.wbActive && ack.SN == n.wbSN {
 		n.stats.WriteBackAcked++
 		n.wbAcks[from] = true
 		n.checkWriteBack()

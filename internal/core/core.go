@@ -42,6 +42,23 @@ const NoProcess ProcessID = 0
 // String renders the ID in the paper's p_i style.
 func (id ProcessID) String() string { return fmt.Sprintf("p%d", int64(id)) }
 
+// RegisterID names one register in the keyed register namespace. The
+// paper studies a single register; this codebase multiplexes arbitrarily
+// many over one churn-bound membership substrate, so every per-register
+// wire message and every per-register piece of node state is keyed by a
+// RegisterID. Key allocation is the application's concern (hash a name,
+// intern a string — see package strings for the value-side analogue).
+type RegisterID int64
+
+// DefaultRegister is key 0: the paper's single register. The legacy
+// single-register API (Read/Write, Snapshot) is sugar over this key, and
+// the zero value of the Reg field on wire messages addresses it, so
+// pre-keyed message constructions remain valid.
+const DefaultRegister RegisterID = 0
+
+// String renders the key in a compact r<k> style.
+func (r RegisterID) String() string { return fmt.Sprintf("r%d", int64(r)) }
+
 // SeqNum is a register sequence number. The initial value of the register
 // carries sequence number 0; each write increments it.
 type SeqNum int64
@@ -79,6 +96,25 @@ func (v VersionedValue) String() string {
 	}
 	return fmt.Sprintf("⟨%d,#%d⟩", int64(v.Val), int64(v.SN))
 }
+
+// KeyedValue pairs a versioned value with the register it belongs to —
+// the unit of batch dissemination: join snapshot replies and batched
+// writes carry one KeyedValue per key.
+type KeyedValue struct {
+	Reg   RegisterID
+	Value VersionedValue
+}
+
+// String renders the pair as r<k>=⟨val,#sn⟩.
+func (kv KeyedValue) String() string { return fmt.Sprintf("%v=%v", kv.Reg, kv.Value) }
+
+// ImplicitInitial is the virtual initial state of every register other
+// than DefaultRegister: value 0 with sequence number 0, written by the
+// paper's fictional initial write completing at time 0. Key 0's initial
+// value is configured at bootstrap (SpawnContext.Initial); all other keys
+// spring into existence already holding this value, so a read of a key
+// nobody ever wrote is well-defined and regular.
+func ImplicitInitial() VersionedValue { return VersionedValue{} }
 
 // ReadSeq identifies a read request issued by a process. The paper tags
 // each read with (i, read_sn); read_sn = 0 identifies the join inquiry.
@@ -140,8 +176,13 @@ type Node interface {
 type SpawnContext struct {
 	// Bootstrap marks one of the n initial processes.
 	Bootstrap bool
-	// Initial is the register's initial value (valid when Bootstrap).
+	// Initial is register 0's initial value (valid when Bootstrap).
 	Initial VersionedValue
+	// InitialKeys optionally pre-provisions further registers on bootstrap
+	// processes (valid when Bootstrap; must not contain DefaultRegister —
+	// that is what Initial is for). Entries must be sorted by Reg and are
+	// shared, not copied: treat as immutable.
+	InitialKeys []KeyedValue
 }
 
 // NodeFactory builds a protocol instance for a freshly spawned process.
@@ -162,6 +203,52 @@ type LocalReader interface {
 // when the write operation returns ok.
 type Writer interface {
 	Write(v Value, done func()) error
+}
+
+// KeyedReader is the multi-register analogue of Reader: a quorum read of
+// one register in the namespace. Reads of distinct keys may be in flight
+// concurrently on one node; a second read of the SAME key while one is
+// pending returns ErrOpInProgress.
+type KeyedReader interface {
+	ReadKey(reg RegisterID, done func(VersionedValue)) error
+}
+
+// KeyedLocalReader is the multi-register analogue of LocalReader.
+type KeyedLocalReader interface {
+	ReadLocalKey(reg RegisterID) (VersionedValue, error)
+}
+
+// KeyedWriter is the multi-register analogue of Writer. Writes to
+// distinct keys may be in flight concurrently on one node; the paper's
+// no-concurrent-writes discipline applies per key.
+type KeyedWriter interface {
+	WriteKey(reg RegisterID, v Value, done func()) error
+}
+
+// BatchWriter is implemented by protocols that can disseminate updates to
+// several registers in one broadcast (the synchronous protocol: a batched
+// WRITE costs the same single broadcast plus one δ wait as a lone write).
+// Entries must be sorted by Reg and name each key at most once.
+type BatchWriter interface {
+	WriteBatch(entries []KeyedWrite, done func()) error
+}
+
+// KeyedWrite is one entry of a batched write: the key and the raw value
+// to store (the protocol assigns the sequence number).
+type KeyedWrite struct {
+	Reg RegisterID
+	Val Value
+}
+
+// KeyedSnapshotter exposes per-key local copies for checking and metrics.
+type KeyedSnapshotter interface {
+	// SnapshotKey returns the node's local copy of one register; for keys
+	// the node has never seen it returns the key's initial state (Bottom
+	// while joining or for key 0 before its value is learned).
+	SnapshotKey(reg RegisterID) VersionedValue
+	// Keys returns the registers this node holds explicit state for, in
+	// ascending order.
+	Keys() []RegisterID
 }
 
 // Joiner exposes the completion of the join operation. done runs when join

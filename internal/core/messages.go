@@ -17,6 +17,7 @@ const (
 	KindClaim
 	KindBeat
 	KindToken
+	KindWriteBatch
 )
 
 // String returns the paper's message name.
@@ -40,6 +41,8 @@ func (k MsgKind) String() string {
 		return "BEAT"
 	case KindToken:
 		return "TOKEN"
+	case KindWriteBatch:
+		return "WRITE_BATCH"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -47,7 +50,14 @@ func (k MsgKind) String() string {
 
 // Message is a protocol wire message. Concrete types are small value
 // structs; the network layer copies them by value, so nodes can never share
-// mutable state through a message.
+// mutable state through a message. The batch-carrying messages (ReplyMsg,
+// WriteBatchMsg) hold a slice whose backing array IS shared between sender
+// and receivers: senders build a fresh slice per message and receivers
+// must treat it as immutable.
+//
+// Per-register messages carry a Reg field whose zero value addresses
+// DefaultRegister, so single-register constructions predating the keyed
+// namespace keep their meaning unchanged.
 type Message interface {
 	Kind() MsgKind
 	// WireSize returns an abstract on-wire size in bytes, used by the
@@ -72,70 +82,113 @@ func (InquiryMsg) WireSize() int { return 16 }
 // ReplyMsg is REPLY(⟨i, register, sn⟩) (Figure 1 line 11/14) or
 // REPLY(⟨i, register, sn⟩, r_sn) (Figure 4 lines 09/13). RSN identifies
 // the request being answered in the eventually synchronous protocol.
+//
+// In the keyed namespace a reply answers either a per-key READ — Reg and
+// Value carry that key's copy, Rest is nil — or a join INQUIRY, in which
+// case the reply is a SNAPSHOT of the replier's whole register space:
+// (Reg, Value) is the first key and Rest carries the remaining keys in
+// ascending Reg order. One unicast thus disseminates every key the
+// replier holds, which is what lets a process join ONCE and serve reads
+// on any key afterwards.
 type ReplyMsg struct {
 	From  ProcessID
 	Value VersionedValue
 	RSN   ReadSeq
+	Reg   RegisterID
+	// Rest holds the snapshot's remaining keys (join replies only).
+	// Receivers must not mutate it.
+	Rest []KeyedValue
 }
 
 // Kind implements Message.
 func (ReplyMsg) Kind() MsgKind { return KindReply }
 
 // WireSize implements Message.
-func (ReplyMsg) WireSize() int { return 32 }
+func (m ReplyMsg) WireSize() int { return 40 + 32*len(m.Rest) }
+
+// Entries visits every (reg, value) pair the reply carries, primary entry
+// first, without materializing a slice on the single-key fast path.
+func (m ReplyMsg) Entries(visit func(RegisterID, VersionedValue)) {
+	visit(m.Reg, m.Value)
+	for _, kv := range m.Rest {
+		visit(kv.Reg, kv.Value)
+	}
+}
 
 // WriteMsg is WRITE(v, sn) (Figure 2 line 01) or WRITE(i, ⟨v, sn⟩)
-// (Figure 6 line 04).
+// (Figure 6 line 04), addressed to one register of the namespace.
 type WriteMsg struct {
 	From  ProcessID
 	Value VersionedValue
+	Reg   RegisterID
 }
 
 // Kind implements Message.
 func (WriteMsg) Kind() MsgKind { return KindWrite }
 
 // WireSize implements Message.
-func (WriteMsg) WireSize() int { return 24 }
+func (WriteMsg) WireSize() int { return 32 }
+
+// WriteBatchMsg disseminates updates to several registers in one
+// broadcast (synchronous protocol only): each entry is applied exactly as
+// a lone WRITE for its key would be. Entries are in ascending Reg order;
+// receivers must not mutate the slice.
+type WriteBatchMsg struct {
+	From    ProcessID
+	Entries []KeyedValue
+}
+
+// Kind implements Message.
+func (WriteBatchMsg) Kind() MsgKind { return KindWriteBatch }
+
+// WireSize implements Message.
+func (m WriteBatchMsg) WireSize() int { return 8 + 32*len(m.Entries) }
 
 // AckMsg is ACK(i, sn) (Figure 6 line 08, Figure 4 line 20). SN carries the
 // register sequence number being acknowledged (see the DESIGN.md §2 note on
 // why the REPLY-triggered ACK carries the register sn rather than r_sn).
+// Reg names the register whose write quorum the ACK feeds.
 type AckMsg struct {
 	From ProcessID
 	SN   SeqNum
+	Reg  RegisterID
 }
 
 // Kind implements Message.
 func (AckMsg) Kind() MsgKind { return KindAck }
 
 // WireSize implements Message.
-func (AckMsg) WireSize() int { return 16 }
+func (AckMsg) WireSize() int { return 24 }
 
-// ReadMsg is READ(i, read_sn) (Figure 5 line 03).
+// ReadMsg is READ(i, read_sn) (Figure 5 line 03) for one register.
 type ReadMsg struct {
 	From ProcessID
 	RSN  ReadSeq
+	Reg  RegisterID
 }
 
 // Kind implements Message.
 func (ReadMsg) Kind() MsgKind { return KindRead }
 
 // WireSize implements Message.
-func (ReadMsg) WireSize() int { return 16 }
+func (ReadMsg) WireSize() int { return 24 }
 
 // DLPrevMsg is DL_PREV(i, r_sn) (Figure 4 lines 14/16): "I saw your
 // request while not yet able to answer it; I will answer when active" —
-// the sender asks the receiver to remember it in dl_prev.
+// the sender asks the receiver to remember it in dl_prev. RSN =
+// JoinReadSeq marks the pending request as the sender's join (answered
+// with a full snapshot reply); any other RSN is a read of register Reg.
 type DLPrevMsg struct {
 	From ProcessID
 	RSN  ReadSeq
+	Reg  RegisterID
 }
 
 // Kind implements Message.
 func (DLPrevMsg) Kind() MsgKind { return KindDLPrev }
 
 // WireSize implements Message.
-func (DLPrevMsg) WireSize() int { return 16 }
+func (DLPrevMsg) WireSize() int { return 24 }
 
 // ClaimMsg is the multi-writer extension's CLAIM(i, stamp): process i bids
 // for the write token with its invocation timestamp; lower (stamp, id)
@@ -191,4 +244,5 @@ var (
 	_ Message = ClaimMsg{}
 	_ Message = BeatMsg{}
 	_ Message = TokenMsg{}
+	_ Message = WriteBatchMsg{}
 )

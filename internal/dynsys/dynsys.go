@@ -41,10 +41,16 @@ type Config struct {
 	MinLifetime sim.Duration
 	// Protect exempts processes from removal (see churn.Config).
 	Protect func(core.ProcessID) bool
-	// Initial is the register's initial value held by the bootstrap
+	// Initial is register 0's initial value held by the bootstrap
 	// population. The zero value (value 0, sn 0) matches the paper's
 	// "register_k contains the initial value, sn_k = 0".
 	Initial core.VersionedValue
+	// Initials optionally pre-provisions further registers of the keyed
+	// namespace on the bootstrap population (ascending Reg order, no
+	// DefaultRegister entry — that is what Initial is for). Keys outside
+	// this set still work: they spring up lazily on first use with the
+	// implicit initial value.
+	Initials []core.KeyedValue
 }
 
 // Validate reports configuration errors.
@@ -60,6 +66,14 @@ func (c Config) Validate() error {
 	}
 	if c.ChurnRate < 0 || c.ChurnRate >= 1 {
 		return fmt.Errorf("dynsys: churn rate = %v, want [0, 1)", c.ChurnRate)
+	}
+	for i, kv := range c.Initials {
+		if kv.Reg == core.DefaultRegister {
+			return fmt.Errorf("dynsys: Initials must not name register 0 (use Initial)")
+		}
+		if i > 0 && c.Initials[i-1].Reg >= kv.Reg {
+			return fmt.Errorf("dynsys: Initials not sorted/unique at %v", kv.Reg)
+		}
 	}
 	return nil
 }
@@ -109,7 +123,7 @@ func New(cfg Config) (*System, error) {
 		s.engine = eng
 	}
 	for i := 0; i < cfg.N; i++ {
-		s.spawn(core.SpawnContext{Bootstrap: true, Initial: cfg.Initial})
+		s.spawn(core.SpawnContext{Bootstrap: true, Initial: cfg.Initial, InitialKeys: cfg.Initials})
 	}
 	if s.engine != nil {
 		s.engine.Start()

@@ -1,16 +1,30 @@
 // Package esyncreg implements the paper's eventually synchronous regular
-// register protocol (§5, Figures 4, 5 and 6).
+// register protocol (§5, Figures 4, 5 and 6), generalized from one
+// register to a keyed register namespace served by a single join.
 //
 // The protocol cannot rely on the passage of time (δ and GST exist but are
 // unknown to processes), so every operation is acknowledgment-based:
 //
 //   - join (Figure 4): broadcast INQUIRY(i, 0) and wait until a majority
-//     (⌊n/2⌋+1) of REPLYs arrive; adopt the highest sequence number; then
-//     answer every request deferred in reply_to and dl_prev.
-//   - read (Figure 5): a simplified join — broadcast READ(i, read_sn), wait
-//     for a majority of matching REPLYs, merge, return the local copy.
-//   - write (Figure 6): read first (to learn the greatest sequence number),
-//     then broadcast WRITE(i, ⟨v, sn+1⟩) and wait for a majority of ACKs.
+//     (⌊n/2⌋+1) of REPLYs arrive; each reply carries the replier's WHOLE
+//     register space in one message (batch dissemination), and the joiner
+//     adopts, per key, the highest sequence number; then answer every
+//     request deferred in reply_to and dl_prev.
+//   - read (Figure 5): a simplified join, per key — broadcast
+//     READ(i, read_sn, k), wait for a majority of matching REPLYs, merge,
+//     return the local copy of k.
+//   - write (Figure 6): read the key first (to learn its greatest sequence
+//     number), then broadcast WRITE(i, ⟨v, sn+1⟩, k) and wait for a
+//     majority of ACKs carrying (k, sn+1).
+//
+// Membership vs. register state: the join, the active flag and the
+// deferred-request sets are maintained once per process; everything
+// register-valued — local copies, pending read quorums, pending write
+// quorums — lives in maps keyed by core.RegisterID, instantiated lazily
+// when a READ/WRITE first names a key. Operations on DISTINCT keys may be
+// in flight concurrently on one node (each has its own read_sn, drawn from
+// the node's single counter, so replies route unambiguously); operations
+// on the same key remain sequential, the paper's discipline.
 //
 // The DL_PREV mechanism is what makes operations live (Lemmas 5–7): a
 // process that sees a request it cannot answer yet — or that has a pending
@@ -28,6 +42,8 @@
 package esyncreg
 
 import (
+	"sort"
+
 	"churnreg/internal/core"
 )
 
@@ -45,12 +61,40 @@ type Options struct {
 	LiteralAckRSN bool
 }
 
-// reqKey identifies a pending remote request: who asked, and which of
-// their requests (read_sn; 0 is the join).
+// reqKey identifies a pending remote request: who asked, which of their
+// requests (read_sn; 0 is the join), and — for reads — which register.
+// A join request (rsn == JoinReadSeq) is answered with a full snapshot,
+// so its reg is irrelevant and left zero.
 type reqKey struct {
 	id  core.ProcessID
 	rsn core.ReadSeq
+	reg core.RegisterID
 }
+
+// kop is the in-flight operation state of one register on this node —
+// the per-key sub-register the membership engine multiplexes.
+type kop struct {
+	// reading / readRSN / readReplies / readDone mirror Figure 5's
+	// reading_i, read_sn_i and replies_i for this key.
+	reading     bool
+	readRSN     core.ReadSeq
+	readReplies map[core.ProcessID]core.VersionedValue
+	readDone    func(core.VersionedValue)
+
+	// writing / writeBroadcast / writeSN / writeVal / writeAck / writeDone
+	// mirror Figure 6's state for this key. writeBroadcast marks the
+	// write's second phase: the WRITE message is out and ACKs may count
+	// (without this gate, stale ACKs arriving during the embedded read
+	// would complete the operation before it broadcast anything).
+	writing        bool
+	writeBroadcast bool
+	writeSN        core.SeqNum
+	writeVal       core.Value
+	writeAck       map[core.ProcessID]bool
+	writeDone      func()
+}
+
+func (o *kop) busy() bool { return o.reading || o.writing }
 
 // Node is one process running the eventually synchronous protocol. It must
 // only be driven by a single-threaded runtime (core.Env guarantees this).
@@ -58,42 +102,32 @@ type Node struct {
 	env  core.Env
 	opts Options
 
-	// register is (register_i, sn_i).
-	register core.VersionedValue
+	// vals holds (register_i, sn_i) per key; a key is absent until a
+	// value for it is learned.
+	vals *core.RegStore
 	// active is active_i.
 	active bool
-	// reading is reading_i.
-	reading bool
-	// readSN is read_sn_i; 0 identifies the join inquiry.
+	// joining marks the window between Start and the join quorum.
+	joining bool
+	// joinReplies is replies_i for the join: the distinct repliers whose
+	// snapshots were merged (values fold into vals on arrival; only the
+	// replier set is needed for the majority test).
+	joinReplies map[core.ProcessID]bool
+	// readSN is read_sn_i, the node-wide request counter; 0 identifies
+	// the join inquiry, every per-key read draws the next value.
 	readSN core.ReadSeq
-	// replies is replies_i, keyed by responder, for the current request.
-	replies map[core.ProcessID]core.VersionedValue
+	// ops holds the lazily instantiated per-key operation state.
+	ops map[core.RegisterID]*kop
+	// rsnReg routes a REPLY's r_sn to the key whose read it answers.
+	rsnReg map[core.ReadSeq]core.RegisterID
 	// replyTo is reply_to_i; insertion-ordered for determinism.
 	replyTo     map[reqKey]bool
 	replyToList []reqKey
 	// dlPrev is dl_prev_i; insertion-ordered for determinism.
 	dlPrev     map[reqKey]bool
 	dlPrevList []reqKey
-	// writeAck is write_ack_i.
-	writeAck map[core.ProcessID]bool
 
-	joining   bool
-	joinDone  []func()
-	readDone  func(core.VersionedValue)
-	writing   bool
-	writeDone func()
-	// writeBroadcast marks the write's second phase: the WRITE message is
-	// out and ACKs may count. The paper's "wait until |write_ack| ≥ ..."
-	// (Figure 6 line 05) textually follows the reset+broadcast of lines
-	// 03-04; without this gate, stale ACKs arriving during the embedded
-	// read of line 01 would match the previous write's state and complete
-	// the operation before it broadcast anything.
-	writeBroadcast bool
-	// writeSN is the sequence number of the in-flight write.
-	writeSN core.SeqNum
-	// writeVal is the value of the in-flight write, applied between the
-	// embedded read completing and the WRITE broadcast.
-	writeVal core.Value
+	joinDone []func()
 
 	stats Stats
 }
@@ -102,29 +136,29 @@ type Node struct {
 type Stats struct {
 	Reads            uint64
 	Writes           uint64
+	JoinInquiries    uint64 // INQUIRY broadcasts sent by this node's join (0 or 1)
 	RepliesSent      uint64
 	DeferredReplies  uint64 // replies sent at join completion (reply_to ∪ dl_prev)
 	DLPrevSent       uint64
 	AcksSent         uint64
-	StaleRepliesSeen uint64 // REPLYs whose r_sn did not match read_sn
+	StaleRepliesSeen uint64 // REPLYs whose r_sn matched no open request
 }
 
-// New builds a node. Bootstrap nodes hold the initial value and are active
-// immediately; all others start the join operation when Start is called.
+// New builds a node. Bootstrap nodes hold the initial values and are
+// active immediately; all others start the join operation when Start is
+// called.
 func New(env core.Env, sc core.SpawnContext, opts Options) *Node {
 	n := &Node{
-		env:      env,
-		opts:     opts,
-		register: core.Bottom(),
-		replies:  make(map[core.ProcessID]core.VersionedValue),
-		replyTo:  make(map[reqKey]bool),
-		dlPrev:   make(map[reqKey]bool),
-		writeAck: make(map[core.ProcessID]bool),
+		env:         env,
+		opts:        opts,
+		vals:        core.NewRegStore(sc),
+		joinReplies: make(map[core.ProcessID]bool),
+		ops:         make(map[core.RegisterID]*kop),
+		rsnReg:      make(map[core.ReadSeq]core.RegisterID),
+		replyTo:     make(map[reqKey]bool),
+		dlPrev:      make(map[reqKey]bool),
 	}
-	if sc.Bootstrap {
-		n.register = sc.Initial
-		n.active = true
-	}
+	n.active = sc.Bootstrap
 	return n
 }
 
@@ -137,15 +171,39 @@ func Factory(opts Options) core.NodeFactory {
 
 // Compile-time interface checks.
 var (
-	_ core.Node   = (*Node)(nil)
-	_ core.Reader = (*Node)(nil)
-	_ core.Writer = (*Node)(nil)
-	_ core.Joiner = (*Node)(nil)
+	_ core.Node             = (*Node)(nil)
+	_ core.Reader           = (*Node)(nil)
+	_ core.Writer           = (*Node)(nil)
+	_ core.Joiner           = (*Node)(nil)
+	_ core.KeyedReader      = (*Node)(nil)
+	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.KeyedSnapshotter = (*Node)(nil)
 )
 
 // majority returns ⌊n/2⌋+1, the quorum size backed by the §5.2 assumption
 // that a majority of the n processes is active at every instant.
 func (n *Node) majority() int { return n.env.SystemSize()/2 + 1 }
+
+// value and merge are per-key store accessors threading the node's
+// activation state (see core.RegStore.Value for the ⊥/implicit-initial
+// rules).
+func (n *Node) value(k core.RegisterID) core.VersionedValue { return n.vals.Value(k, n.active) }
+
+func (n *Node) merge(k core.RegisterID, v core.VersionedValue) {
+	n.vals.Merge(k, v, n.active)
+}
+
+// op returns key k's operation state, instantiating the sub-register on
+// first use — an INQUIRY snapshot, READ or WRITE for an unseen key spins
+// it up transparently.
+func (n *Node) op(k core.RegisterID) *kop {
+	o, ok := n.ops[k]
+	if !ok {
+		o = &kop{}
+		n.ops[k] = o
+	}
+	return o
+}
 
 // Start implements core.Node — operation join(i), Figure 4 lines 01-04.
 func (n *Node) Start() {
@@ -157,26 +215,21 @@ func (n *Node) Start() {
 	// Lines 01-02: initialization happened in New; read_sn_i starts at 0,
 	// identifying this join's inquiry.
 	n.readSN = core.JoinReadSeq
-	n.replies = make(map[core.ProcessID]core.VersionedValue)
-	// Line 03: broadcast INQUIRY(i, read_sn_i).
+	// Line 03: broadcast INQUIRY(i, read_sn_i) — the process's one and
+	// only join inquiry, whatever number of registers the namespace holds.
+	n.stats.JoinInquiries++
 	n.env.Broadcast(core.InquiryMsg{From: n.env.ID(), RSN: n.readSN})
 	// Line 04 ("wait until |replies_i| ≥ n/2+1") is event-driven: the
 	// check runs on every REPLY arrival (checkJoin).
 }
 
-// checkJoin completes the join once a majority of replies arrived
-// (Figure 4 lines 05-11).
+// checkJoin completes the join once a majority of snapshot replies arrived
+// (Figure 4 lines 05-11). Per-key values were merged on arrival.
 func (n *Node) checkJoin() {
-	if !n.joining || len(n.replies) < n.majority() {
+	if !n.joining || len(n.joinReplies) < n.majority() {
 		return
 	}
 	n.joining = false
-	// Lines 05-06: adopt the most up-to-date value among the replies.
-	for _, v := range n.replies {
-		if v.MoreRecent(n.register) {
-			n.register = v
-		}
-	}
 	// Line 07: become active.
 	n.active = true
 	n.env.MarkActive()
@@ -191,7 +244,8 @@ func (n *Node) checkJoin() {
 }
 
 // flushDeferred sends the deferred REPLYs of Figure 4 lines 08-10 and
-// clears both sets.
+// clears both sets. Join requests get a full snapshot; reads get their
+// key's copy.
 func (n *Node) flushDeferred() {
 	sent := make(map[reqKey]bool, len(n.replyToList)+len(n.dlPrevList))
 	for _, k := range append(append([]reqKey{}, n.replyToList...), n.dlPrevList...) {
@@ -200,12 +254,26 @@ func (n *Node) flushDeferred() {
 		}
 		sent[k] = true
 		n.stats.DeferredReplies++
-		n.env.Send(k.id, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: k.rsn})
+		n.env.Send(k.id, n.replyFor(k))
 	}
 	n.replyTo = make(map[reqKey]bool)
 	n.replyToList = nil
 	n.dlPrev = make(map[reqKey]bool)
 	n.dlPrevList = nil
+}
+
+// replyFor builds the REPLY answering one deferred request.
+func (n *Node) replyFor(k reqKey) core.ReplyMsg {
+	if k.rsn == core.JoinReadSeq {
+		return n.snapshotReply(k.rsn)
+	}
+	return core.ReplyMsg{From: n.env.ID(), Value: n.value(k.reg), RSN: k.rsn, Reg: k.reg}
+}
+
+// snapshotReply builds a REPLY carrying this node's entire register space
+// (see core.RegStore.SnapshotReply).
+func (n *Node) snapshotReply(rsn core.ReadSeq) core.ReplyMsg {
+	return n.vals.SnapshotReply(n.env.ID(), rsn, n.active)
 }
 
 // OnJoined implements core.Joiner.
@@ -223,100 +291,127 @@ func (n *Node) OnJoined(done func()) {
 // Active implements core.Node.
 func (n *Node) Active() bool { return n.active }
 
-// Snapshot implements core.Node.
-func (n *Node) Snapshot() core.VersionedValue { return n.register }
+// Snapshot implements core.Node (key 0's local copy).
+func (n *Node) Snapshot() core.VersionedValue { return n.value(core.DefaultRegister) }
+
+// SnapshotKey implements core.KeyedSnapshotter.
+func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue { return n.value(k) }
+
+// Keys implements core.KeyedSnapshotter.
+func (n *Node) Keys() []core.RegisterID { return n.vals.Keys() }
 
 // Stats returns a copy of this node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
-// Read implements core.Reader — operation read(i), Figure 5 lines 01-07.
-// done receives the value the read returns.
+// Read implements core.Reader — key-0 sugar for ReadKey.
 func (n *Node) Read(done func(core.VersionedValue)) error {
+	return n.ReadKey(core.DefaultRegister, done)
+}
+
+// ReadKey implements core.KeyedReader — operation read(i), Figure 5 lines
+// 01-07, on one key. done receives the value the read returns. Reads of
+// distinct keys may run concurrently; a second operation on the same key
+// returns ErrOpInProgress.
+func (n *Node) ReadKey(k core.RegisterID, done func(core.VersionedValue)) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	if n.reading || n.writing {
+	o := n.op(k)
+	if o.busy() {
 		return core.ErrOpInProgress
 	}
 	n.stats.Reads++
-	n.startRead(done)
+	n.startRead(k, o, done)
 	return nil
 }
 
-// startRead is the body shared by Read and the write's embedded read.
-func (n *Node) startRead(done func(core.VersionedValue)) {
-	// Line 01: read_sn_i := read_sn_i + 1.
+// startRead is the body shared by ReadKey and the write's embedded read.
+func (n *Node) startRead(k core.RegisterID, o *kop, done func(core.VersionedValue)) {
+	// Line 01: read_sn_i := read_sn_i + 1 — the node-wide counter, so
+	// every in-flight request (join or any key's read) has a unique tag.
 	n.readSN++
 	// Line 02: replies := ∅; reading := true.
-	n.replies = make(map[core.ProcessID]core.VersionedValue)
-	n.reading = true
-	n.readDone = done
+	o.reading = true
+	o.readRSN = n.readSN
+	o.readReplies = make(map[core.ProcessID]core.VersionedValue)
+	o.readDone = done
+	n.rsnReg[o.readRSN] = k
 	// Line 03: broadcast READ(i, read_sn_i).
-	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: n.readSN})
+	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: o.readRSN, Reg: k})
 	// Line 04 is event-driven (checkRead on every REPLY).
 }
 
-// checkRead completes the read once a majority of matching replies arrived
-// (Figure 5 lines 05-07).
-func (n *Node) checkRead() {
-	if !n.reading || len(n.replies) < n.majority() {
+// checkRead completes key k's read once a majority of matching replies
+// arrived (Figure 5 lines 05-07).
+func (n *Node) checkRead(k core.RegisterID, o *kop) {
+	if !o.reading || len(o.readReplies) < n.majority() {
 		return
 	}
 	// Lines 05-06: merge the most up-to-date value.
-	for _, v := range n.replies {
-		if v.MoreRecent(n.register) {
-			n.register = v
-		}
+	for _, v := range o.readReplies {
+		n.merge(k, v)
 	}
 	// Line 07: reading := false; return register_i.
-	n.reading = false
-	done := n.readDone
-	n.readDone = nil
+	o.reading = false
+	delete(n.rsnReg, o.readRSN)
+	o.readReplies = nil
+	done := o.readDone
+	o.readDone = nil
 	if done != nil {
-		done(n.register)
+		done(n.value(k))
 	}
 }
 
-// Write implements core.Writer — operation write(v), Figure 6 lines 01-05.
-// The paper assumes no two processes write concurrently.
+// Write implements core.Writer — key-0 sugar for WriteKey.
 func (n *Node) Write(v core.Value, done func()) error {
+	return n.WriteKey(core.DefaultRegister, v, done)
+}
+
+// WriteKey implements core.KeyedWriter — operation write(v), Figure 6
+// lines 01-05, on one key. The paper's no-concurrent-writes discipline
+// applies per key; writes to distinct keys may overlap on one node.
+func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	if n.reading || n.writing {
+	o := n.op(k)
+	if o.busy() {
 		return core.ErrOpInProgress
 	}
 	n.stats.Writes++
-	n.writing = true
-	n.writeBroadcast = false
-	n.writeDone = done
-	n.writeVal = v
-	// Line 01: read() — obtain the greatest sequence number. The embedded
-	// read also refreshes register_i, so line 02's increment builds on it.
-	n.startRead(func(core.VersionedValue) {
+	o.writing = true
+	o.writeBroadcast = false
+	o.writeDone = done
+	o.writeVal = v
+	// Line 01: read() — obtain the key's greatest sequence number. The
+	// embedded read also refreshes the local copy, so line 02's increment
+	// builds on it.
+	n.startRead(k, o, func(core.VersionedValue) {
 		// Line 02: sn_i := sn_i + 1; register_i := v.
-		n.register = core.VersionedValue{Val: n.writeVal, SN: n.register.SN + 1}
-		n.writeSN = n.register.SN
+		next := core.VersionedValue{Val: o.writeVal, SN: n.value(k).SN + 1}
+		n.vals.Store(k, next)
+		o.writeSN = next.SN
 		// Line 03: write_ack := ∅.
-		n.writeAck = make(map[core.ProcessID]bool)
-		n.writeBroadcast = true
+		o.writeAck = make(map[core.ProcessID]bool)
+		o.writeBroadcast = true
 		// Line 04: broadcast WRITE(i, ⟨v, sn⟩).
-		n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: n.register})
+		n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k})
 		// Line 05 is event-driven (checkWrite on every ACK).
 	})
 	return nil
 }
 
-// checkWrite completes the write once a majority of ACKs arrived
+// checkWrite completes key k's write once a majority of ACKs arrived
 // (Figure 6 line 05).
-func (n *Node) checkWrite() {
-	if !n.writing || !n.writeBroadcast || len(n.writeAck) < n.majority() {
+func (n *Node) checkWrite(o *kop) {
+	if !o.writing || !o.writeBroadcast || len(o.writeAck) < n.majority() {
 		return
 	}
-	n.writing = false
-	n.writeBroadcast = false
-	done := n.writeDone
-	n.writeDone = nil
+	o.writing = false
+	o.writeBroadcast = false
+	o.writeAck = nil
+	done := o.writeDone
+	o.writeDone = nil
 	if done != nil {
 		done()
 	}
@@ -342,20 +437,36 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 	}
 }
 
+// readingKeys returns the keys with an in-flight read, ascending — the
+// deterministic iteration order DL_PREV fan-out needs.
+func (n *Node) readingKeys() []core.RegisterID {
+	var ks []core.RegisterID
+	for k, o := range n.ops {
+		if o.reading {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
 // handleInquiry is Figure 4 lines 12-17.
 func (n *Node) handleInquiry(m core.InquiryMsg) {
 	if n.active {
-		// Line 13: answer immediately.
+		// Line 13: answer immediately — with the whole register space.
 		n.stats.RepliesSent++
-		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: m.RSN})
+		n.env.Send(m.From, n.snapshotReply(m.RSN))
 		// Line 14: a reading process also asks the newcomer to answer its
-		// in-flight read once active — the newcomer was not in the READ
-		// broadcast's snapshot and would otherwise never reply. The
-		// DL_PREV carries OUR pending request id (read_sn_i), which is
-		// what the newcomer must echo for line 19's match to succeed.
-		if n.reading && !n.opts.DisableDLPrev {
-			n.stats.DLPrevSent++
-			n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: n.readSN})
+		// in-flight reads once active — the newcomer was not in those READ
+		// broadcasts' snapshots and would otherwise never reply. One
+		// DL_PREV per pending key, each carrying OUR pending request id
+		// (that key's read_sn), which is what the newcomer must echo for
+		// line 19's match to succeed.
+		if !n.opts.DisableDLPrev {
+			for _, k := range n.readingKeys() {
+				n.stats.DLPrevSent++
+				n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: n.ops[k].readRSN, Reg: k})
+			}
 		}
 		return
 	}
@@ -366,7 +477,7 @@ func (n *Node) handleInquiry(m core.InquiryMsg) {
 	// replies, which is what makes join live (Lemma 5).
 	if !n.opts.DisableDLPrev {
 		n.stats.DLPrevSent++
-		n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: n.readSN})
+		n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: core.JoinReadSeq})
 	}
 }
 
@@ -375,58 +486,101 @@ func (n *Node) handleRead(m core.ReadMsg) {
 	if n.active {
 		// Line 09.
 		n.stats.RepliesSent++
-		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: m.RSN})
+		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.value(m.Reg), RSN: m.RSN, Reg: m.Reg})
 		return
 	}
 	// Line 10: answer at join completion.
-	n.defer_(reqKey{id: m.From, rsn: m.RSN})
+	n.defer_(reqKey{id: m.From, rsn: m.RSN, reg: m.Reg})
 }
 
-// handleReply is Figure 4 lines 18-21.
+// handleReply is Figure 4 lines 18-21, routing the reply to the open
+// request its r_sn names: the join, or one key's in-flight read.
 func (n *Node) handleReply(m core.ReplyMsg) {
-	// Line 19: only replies to our current request count.
-	if m.RSN != n.readSN {
+	if m.RSN == core.JoinReadSeq {
+		n.handleJoinReply(m)
+		return
+	}
+	k, open := n.rsnReg[m.RSN]
+	if !open {
+		// Line 19: only replies to an open request count.
 		n.stats.StaleRepliesSeen++
 		return
 	}
+	o := n.ops[k]
 	// Line 20: record the reply and acknowledge it. The ACK carries the
 	// register sequence number from the reply (not r_sn): if the replier
-	// is a writer with an in-flight write, this ACK is how processes that
-	// joined after the WRITE broadcast contribute to its quorum (Lemma 7;
-	// see DESIGN.md §2). Options.LiteralAckRSN restores the literal text.
-	if cur, ok := n.replies[m.From]; !ok || m.Value.MoreRecent(cur) {
-		n.replies[m.From] = m.Value
+	// is a writer with an in-flight write on this key, this ACK is how
+	// processes that joined after the WRITE broadcast contribute to its
+	// quorum (Lemma 7; see DESIGN.md §2). Options.LiteralAckRSN restores
+	// the literal text.
+	if cur, ok := o.readReplies[m.From]; !ok || m.Value.MoreRecent(cur) {
+		o.readReplies[m.From] = m.Value
 	}
-	ackSN := m.Value.SN
+	n.ack(m.From, m.Reg, m.Value.SN, m.RSN)
+	// Line 04 of Figure 5: re-check the quorum.
+	n.checkRead(k, o)
+}
+
+// handleJoinReply consumes a snapshot reply to our join inquiry: merge
+// every carried key, count the replier, acknowledge, re-check the quorum.
+// After the join completed, r_sn 0 stays "open" until the first read
+// bumps the counter (seed parity): such late snapshots are acknowledged —
+// their ACKs may feed in-flight write quorums (Lemma 7) — but no longer
+// merged, because after the join only WRITEs mutate register state.
+func (n *Node) handleJoinReply(m core.ReplyMsg) {
+	if !n.joining && n.readSN != core.JoinReadSeq {
+		n.stats.StaleRepliesSeen++
+		return
+	}
+	if n.joining {
+		m.Entries(func(k core.RegisterID, v core.VersionedValue) {
+			n.merge(k, v)
+		})
+		n.joinReplies[m.From] = true
+	}
 	if n.opts.LiteralAckRSN {
-		ackSN = core.SeqNum(m.RSN)
+		n.stats.AcksSent++
+		n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: core.SeqNum(m.RSN), Reg: m.Reg})
+	} else {
+		m.Entries(func(k core.RegisterID, v core.VersionedValue) {
+			n.stats.AcksSent++
+			n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: v.SN, Reg: k})
+		})
+	}
+	n.checkJoin()
+}
+
+// ack acknowledges one reply entry (see handleReply's Lemma 7 note).
+func (n *Node) ack(to core.ProcessID, reg core.RegisterID, sn core.SeqNum, rsn core.ReadSeq) {
+	if n.opts.LiteralAckRSN {
+		sn = core.SeqNum(rsn)
 	}
 	n.stats.AcksSent++
-	n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: ackSN})
-	// Line 04 of Figures 4/5: re-check quorums.
-	n.checkJoin()
-	n.checkRead()
+	n.env.Send(to, core.AckMsg{From: n.env.ID(), SN: sn, Reg: reg})
 }
 
 // handleWrite is Figure 6 lines 06-08 — runs at any process, active or
 // joining.
 func (n *Node) handleWrite(m core.WriteMsg) {
 	// Line 07.
-	if m.Value.MoreRecent(n.register) {
-		n.register = m.Value
-	}
+	n.merge(m.Reg, m.Value)
 	// Line 08: "In all cases, it sends back an ACK" — even for stale
 	// writes, so a slow writer can still terminate.
 	n.stats.AcksSent++
-	n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: m.Value.SN})
+	n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: m.Value.SN, Reg: m.Reg})
 }
 
-// handleAck is Figure 6 lines 09-10. ACKs only count once the WRITE is out
-// (see the writeBroadcast comment).
+// handleAck is Figure 6 lines 09-10. ACKs only count once the key's WRITE
+// is out (see the writeBroadcast comment), and only toward the key they
+// name.
 func (n *Node) handleAck(m core.AckMsg) {
-	if n.writing && n.writeBroadcast && m.SN == n.writeSN {
-		n.writeAck[m.From] = true
-		n.checkWrite()
+	o, ok := n.ops[m.Reg]
+	if !ok {
+		return
+	}
+	if o.writing && o.writeBroadcast && m.SN == o.writeSN {
+		o.writeAck[m.From] = true
+		n.checkWrite(o)
 	}
 }
 
@@ -435,7 +589,10 @@ func (n *Node) handleDLPrev(m core.DLPrevMsg) {
 	if n.opts.DisableDLPrev {
 		return
 	}
-	k := reqKey{id: m.From, rsn: m.RSN}
+	k := reqKey{id: m.From, rsn: m.RSN, reg: m.Reg}
+	if k.rsn == core.JoinReadSeq {
+		k.reg = core.DefaultRegister
+	}
 	if n.active {
 		// We already became active: answer immediately rather than never.
 		// (The paper's line 08 flush happens once, at join completion; a
@@ -443,7 +600,7 @@ func (n *Node) handleDLPrev(m core.DLPrevMsg) {
 		// which can only lose liveness — answering now is safe: it is the
 		// same REPLY we would have sent a moment earlier.)
 		n.stats.RepliesSent++
-		n.env.Send(k.id, core.ReplyMsg{From: n.env.ID(), Value: n.register, RSN: k.rsn})
+		n.env.Send(k.id, n.replyFor(k))
 		return
 	}
 	if !n.dlPrev[k] {
@@ -454,6 +611,9 @@ func (n *Node) handleDLPrev(m core.DLPrevMsg) {
 
 // defer_ records a request to answer at join completion (reply_to_i).
 func (n *Node) defer_(k reqKey) {
+	if k.rsn == core.JoinReadSeq {
+		k.reg = core.DefaultRegister
+	}
 	if !n.replyTo[k] {
 		n.replyTo[k] = true
 		n.replyToList = append(n.replyToList, k)

@@ -31,11 +31,12 @@ func TestSameReplierUpgradesWithinOneRead(t *testing.T) {
 	// the quorum, and the max value wins.
 	n.Deliver(1, reply(1, 10, 1, 1))
 	n.Deliver(1, reply(1, 90, 9, 1))
-	if len(n.replies) != 1 {
-		t.Fatalf("one replier counted %d times", len(n.replies))
+	rr := n.ops[core.DefaultRegister].readReplies
+	if len(rr) != 1 {
+		t.Fatalf("one replier counted %d times", len(rr))
 	}
-	if n.replies[1].SN != 9 {
-		t.Fatalf("kept %v, want the replier's max", n.replies[1])
+	if rr[1].SN != 9 {
+		t.Fatalf("kept %v, want the replier's max", rr[1])
 	}
 }
 
@@ -69,12 +70,12 @@ func TestWriteAckQuorumCountsDistinctProcesses(t *testing.T) {
 	n.Deliver(1, core.AckMsg{From: 1, SN: 1})
 	n.Deliver(1, core.AckMsg{From: 1, SN: 1})
 	n.Deliver(1, core.AckMsg{From: 1, SN: 1})
-	if !n.writing {
+	if !n.ops[core.DefaultRegister].writing {
 		t.Fatal("triplicate ACKs from one process completed the write")
 	}
 	n.Deliver(2, core.AckMsg{From: 2, SN: 1})
 	n.Deliver(3, core.AckMsg{From: 3, SN: 1})
-	if n.writing {
+	if n.ops[core.DefaultRegister].writing {
 		t.Fatal("write did not complete on a true majority")
 	}
 }

@@ -113,7 +113,7 @@ func TestReplyWithWrongRSNIgnored(t *testing.T) {
 	n, env := newJoining(5, Options{})
 	before := len(env.sent)
 	n.Deliver(1, reply(1, 9, 9, 4)) // r_sn 4 != our read_sn 0
-	if len(n.replies) != 0 {
+	if len(n.joinReplies) != 0 {
 		t.Fatal("stale reply recorded")
 	}
 	if len(env.sent) != before {
@@ -150,7 +150,7 @@ func TestReplyAckLiteralVariantCarriesRSN(t *testing.T) {
 
 func TestInquiryWhileActiveRepliesImmediately(t *testing.T) {
 	n, env := newActive(5, Options{})
-	n.register = core.VersionedValue{Val: 3, SN: 2}
+	n.vals.Store(core.DefaultRegister, core.VersionedValue{Val: 3, SN: 2})
 	n.Deliver(7, core.InquiryMsg{From: 7, RSN: 0})
 	s := lastSent(t, env)
 	r, ok := s.msg.(core.ReplyMsg)
@@ -278,13 +278,13 @@ func TestSecondReadUsesFreshRSNAndIgnoresOldReplies(t *testing.T) {
 	n.Deliver(1, reply(1, 0, 0, 1))
 	n.Deliver(2, reply(2, 0, 0, 1))
 	n.Deliver(3, reply(3, 0, 0, 1))
-	if !n.reading {
+	if !n.ops[core.DefaultRegister].reading {
 		t.Fatal("read #2 completed on stale replies")
 	}
 	n.Deliver(1, reply(1, 0, 0, 2))
 	n.Deliver(2, reply(2, 0, 0, 2))
 	n.Deliver(3, reply(3, 0, 0, 2))
-	if n.reading {
+	if n.ops[core.DefaultRegister].reading {
 		t.Fatal("read #2 did not complete on fresh replies")
 	}
 }
@@ -332,8 +332,8 @@ func TestAckWithWrongSNIgnored(t *testing.T) {
 	}
 	n.Deliver(1, core.AckMsg{From: 1, SN: 0}) // stale sn
 	n.Deliver(2, core.AckMsg{From: 2, SN: 9}) // future sn
-	if len(n.writeAck) != 0 {
-		t.Fatalf("mismatched ACKs counted: %v", n.writeAck)
+	if wa := n.ops[core.DefaultRegister].writeAck; len(wa) != 0 {
+		t.Fatalf("mismatched ACKs counted: %v", wa)
 	}
 }
 

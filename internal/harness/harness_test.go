@@ -67,6 +67,9 @@ func TestNewOldInversion(t *testing.T) {
 }
 
 func TestLemma2ActiveSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("active-set sweep is slow")
+	}
 	tb := Lemma2ActiveSet(testSeed)
 	for _, row := range tb.Rows {
 		if row[4] != "true" {
@@ -79,6 +82,9 @@ func TestLemma2ActiveSet(t *testing.T) {
 }
 
 func TestTheorem1SafetySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn-rate safety sweep is slow")
+	}
 	tb := Theorem1SafetySweep(testSeed)
 	// Below the bound: zero violations.
 	for _, row := range tb.Rows[:3] {
@@ -131,6 +137,9 @@ func TestESyncGSTSweep(t *testing.T) {
 }
 
 func TestChurnBoundScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bound scaling sweep is slow")
+	}
 	tb := ChurnBoundScaling(testSeed)
 	if len(tb.Rows) != 11 {
 		t.Fatalf("rows = %d, want 11", len(tb.Rows))

@@ -97,6 +97,12 @@ func TestAtomicNoInversionsAcrossSeeds(t *testing.T) {
 		if len(res.Inversions) != 0 {
 			t.Fatalf("seed %d: atomic register inverted: %v", seed, res.Inversions[0])
 		}
+		// Guard against vacuity: a workload/protocol interface mismatch
+		// that issues zero ops would pass the checks above trivially.
+		if c := res.History.Counts(); c.WritesCompleted == 0 || c.ReadsCompleted == 0 {
+			t.Fatalf("seed %d: no ops driven (writes=%d reads=%d); sweep is vacuous",
+				seed, c.WritesCompleted, c.ReadsCompleted)
+		}
 	}
 }
 

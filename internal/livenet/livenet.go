@@ -55,8 +55,12 @@ type Config struct {
 	Factory core.NodeFactory
 	// Seed feeds the delay RNG.
 	Seed uint64
-	// Initial is the register's initial value.
+	// Initial is register 0's initial value.
 	Initial core.VersionedValue
+	// Initials optionally pre-provisions further registers of the keyed
+	// namespace on the bootstrap population (ascending Reg order, no
+	// DefaultRegister entry).
+	Initials []core.KeyedValue
 }
 
 // Validate reports configuration errors.
@@ -102,7 +106,7 @@ func New(cfg Config) (*Cluster, error) {
 		rng:   sim.NewRNG(cfg.Seed),
 	}
 	for i := 0; i < cfg.N; i++ {
-		c.spawnLocked(core.SpawnContext{Bootstrap: true, Initial: cfg.Initial})
+		c.spawnLocked(core.SpawnContext{Bootstrap: true, Initial: cfg.Initial, InitialKeys: cfg.Initials})
 	}
 	return c, nil
 }
@@ -219,13 +223,34 @@ func (c *Cluster) WaitActive(id core.ProcessID, timeout time.Duration) error {
 	}
 }
 
-// Read runs a read on the process and waits for its result.
+// Read runs a read of register 0 on the process and waits for its result.
 func (c *Cluster) Read(id core.ProcessID, timeout time.Duration) (core.VersionedValue, error) {
+	return c.ReadKey(id, core.DefaultRegister, timeout)
+}
+
+// ReadKey runs a read of one register on the process and waits for its
+// result, routing to the protocol's local or quorum read as available.
+func (c *Cluster) ReadKey(id core.ProcessID, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
 	res := make(chan core.VersionedValue, 1)
 	errc := make(chan error, 1)
 	err := c.Invoke(id, func(n core.Node) {
 		switch r := n.(type) {
+		case core.KeyedLocalReader:
+			v, err := r.ReadLocalKey(reg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			res <- v
+		case core.KeyedReader:
+			if err := r.ReadKey(reg, func(v core.VersionedValue) { res <- v }); err != nil {
+				errc <- err
+			}
 		case core.LocalReader:
+			if reg != core.DefaultRegister {
+				errc <- fmt.Errorf("livenet: node %T cannot read %v", n, reg)
+				return
+			}
 			v, err := r.ReadLocal()
 			if err != nil {
 				errc <- err
@@ -233,6 +258,10 @@ func (c *Cluster) Read(id core.ProcessID, timeout time.Duration) (core.Versioned
 			}
 			res <- v
 		case core.Reader:
+			if reg != core.DefaultRegister {
+				errc <- fmt.Errorf("livenet: node %T cannot read %v", n, reg)
+				return
+			}
 			if err := r.Read(func(v core.VersionedValue) { res <- v }); err != nil {
 				errc <- err
 			}
@@ -253,18 +282,33 @@ func (c *Cluster) Read(id core.ProcessID, timeout time.Duration) (core.Versioned
 	}
 }
 
-// Write runs a write on the process and waits for it to return ok.
+// Write runs a write of register 0 on the process and waits for it to
+// return ok.
 func (c *Cluster) Write(id core.ProcessID, v core.Value, timeout time.Duration) error {
+	return c.WriteKey(id, core.DefaultRegister, v, timeout)
+}
+
+// WriteKey runs a write of one register on the process and waits for it
+// to return ok.
+func (c *Cluster) WriteKey(id core.ProcessID, reg core.RegisterID, v core.Value, timeout time.Duration) error {
 	done := make(chan struct{}, 1)
 	errc := make(chan error, 1)
 	err := c.Invoke(id, func(n core.Node) {
-		w, ok := n.(core.Writer)
-		if !ok {
+		switch w := n.(type) {
+		case core.KeyedWriter:
+			if err := w.WriteKey(reg, v, func() { done <- struct{}{} }); err != nil {
+				errc <- err
+			}
+		case core.Writer:
+			if reg != core.DefaultRegister {
+				errc <- fmt.Errorf("livenet: node %T cannot write %v", n, reg)
+				return
+			}
+			if err := w.Write(v, func() { done <- struct{}{} }); err != nil {
+				errc <- err
+			}
+		default:
 			errc <- fmt.Errorf("livenet: node %T cannot write", n)
-			return
-		}
-		if err := w.Write(v, func() { done <- struct{}{} }); err != nil {
-			errc <- err
 		}
 	})
 	if err != nil {
@@ -280,10 +324,25 @@ func (c *Cluster) Write(id core.ProcessID, v core.Value, timeout time.Duration) 
 	}
 }
 
-// Snapshot returns the node's local register copy (scheduled on its loop).
+// Snapshot returns the node's local register-0 copy (scheduled on its loop).
 func (c *Cluster) Snapshot(id core.ProcessID, timeout time.Duration) (core.VersionedValue, error) {
+	return c.SnapshotKey(id, core.DefaultRegister, timeout)
+}
+
+// SnapshotKey returns the node's local copy of one register.
+func (c *Cluster) SnapshotKey(id core.ProcessID, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
 	res := make(chan core.VersionedValue, 1)
-	if err := c.Invoke(id, func(n core.Node) { res <- n.Snapshot() }); err != nil {
+	if err := c.Invoke(id, func(n core.Node) {
+		if s, ok := n.(core.KeyedSnapshotter); ok {
+			res <- s.SnapshotKey(reg)
+			return
+		}
+		if reg == core.DefaultRegister {
+			res <- n.Snapshot()
+			return
+		}
+		res <- core.Bottom()
+	}); err != nil {
 		return core.Bottom(), err
 	}
 	select {

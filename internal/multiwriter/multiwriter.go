@@ -106,10 +106,14 @@ func Factory() core.NodeFactory {
 
 // Compile-time interface checks.
 var (
-	_ core.Node        = (*Node)(nil)
-	_ core.LocalReader = (*Node)(nil)
-	_ core.Writer      = (*Node)(nil)
-	_ core.Joiner      = (*Node)(nil)
+	_ core.Node             = (*Node)(nil)
+	_ core.LocalReader      = (*Node)(nil)
+	_ core.Writer           = (*Node)(nil)
+	_ core.Joiner           = (*Node)(nil)
+	_ core.KeyedLocalReader = (*Node)(nil)
+	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.BatchWriter      = (*Node)(nil)
+	_ core.KeyedSnapshotter = (*Node)(nil)
 )
 
 // Start implements core.Node.
@@ -126,6 +130,18 @@ func (n *Node) OnJoined(done func()) { n.reg.OnJoined(done) }
 
 // ReadLocal implements core.LocalReader — reads stay fast and tokenless.
 func (n *Node) ReadLocal() (core.VersionedValue, error) { return n.reg.ReadLocal() }
+
+// ReadLocalKey implements core.KeyedLocalReader — every key of the
+// namespace reads locally, tokenless.
+func (n *Node) ReadLocalKey(k core.RegisterID) (core.VersionedValue, error) {
+	return n.reg.ReadLocalKey(k)
+}
+
+// SnapshotKey implements core.KeyedSnapshotter.
+func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue { return n.reg.SnapshotKey(k) }
+
+// Keys implements core.KeyedSnapshotter.
+func (n *Node) Keys() []core.RegisterID { return n.reg.Keys() }
 
 // Stats returns token counters.
 func (n *Node) Stats() Stats { return n.stats }
@@ -258,6 +274,24 @@ func (n *Node) Write(v core.Value, done func()) error {
 		return ErrNotHolder
 	}
 	return n.reg.Write(v, done)
+}
+
+// WriteKey implements core.KeyedWriter. One token guards the whole
+// namespace: the holder may write any key (per-key tokens would shrink
+// contention further; the coarse token keeps the §7 mechanism intact).
+func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
+	if !n.holder {
+		return ErrNotHolder
+	}
+	return n.reg.WriteKey(k, v, done)
+}
+
+// WriteBatch implements core.BatchWriter, token-gated like WriteKey.
+func (n *Node) WriteBatch(entries []core.KeyedWrite, done func()) error {
+	if !n.holder {
+		return ErrNotHolder
+	}
+	return n.reg.WriteBatch(entries, done)
 }
 
 // Deliver implements core.Node: token traffic is handled here, the rest

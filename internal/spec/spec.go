@@ -44,6 +44,11 @@ func (k OpKind) String() string {
 type Op struct {
 	Kind OpKind
 	Proc core.ProcessID
+	// Reg is the register the operation addressed (DefaultRegister for
+	// the single-register API). Every checker partitions by Reg: each key
+	// of the namespace is its own regular register, and a violation on
+	// one key is never masked — or manufactured — by another key's ops.
+	Reg core.RegisterID
 	// Start is the invocation instant; End the response instant.
 	Start, End sim.Time
 	// Value: for a write, the value written (with its sequence number);
@@ -67,34 +72,73 @@ func (o *Op) overlaps(s, e sim.Time) bool {
 	return !o.Completed || o.End >= s
 }
 
-// History is an append-only record of operations. It is not safe for
-// concurrent use; the simulator is single-threaded and the live runtime
-// wraps it in a lock.
+// History is an append-only record of operations over the keyed register
+// namespace. It is not safe for concurrent use; the simulator is
+// single-threaded and the live runtime wraps it in a lock.
 type History struct {
 	ops []*Op
-	// initial is the register's initial value (the paper's virtual write
+	// initial is register 0's initial value (the paper's virtual write
 	// with sequence number 0 completing at time 0).
 	initial core.VersionedValue
+	// initials holds explicitly configured baselines for other keys;
+	// keys absent here baseline at the implicit initial ⟨0,#0⟩.
+	initials map[core.RegisterID]core.VersionedValue
 }
 
-// NewHistory returns a history whose baseline is the initial value
-// (sequence number 0 at time 0).
+// NewHistory returns a history whose register-0 baseline is the initial
+// value (sequence number 0 at time 0). Every other key baselines at the
+// implicit initial ⟨0,#0⟩ unless SetInitialKey overrides it.
 func NewHistory(initial core.VersionedValue) *History {
 	return &History{initial: initial}
 }
 
-// BeginWrite records a write invocation. The value's sequence number is
-// the one the protocol assigned (recorded at completion for protocols that
-// assign it late — pass Bottom here and fill it in Complete).
+// SetInitialKey overrides the baseline of one register (pre-provisioned
+// namespaces record their configured initial values here).
+func (h *History) SetInitialKey(reg core.RegisterID, v core.VersionedValue) {
+	if reg == core.DefaultRegister {
+		h.initial = v
+		return
+	}
+	if h.initials == nil {
+		h.initials = make(map[core.RegisterID]core.VersionedValue)
+	}
+	h.initials[reg] = v
+}
+
+// initialFor returns the baseline of one register.
+func (h *History) initialFor(reg core.RegisterID) core.VersionedValue {
+	if reg == core.DefaultRegister {
+		return h.initial
+	}
+	if v, ok := h.initials[reg]; ok {
+		return v
+	}
+	return core.ImplicitInitial()
+}
+
+// BeginWrite records a register-0 write invocation. The value's sequence
+// number is the one the protocol assigned (recorded at completion for
+// protocols that assign it late — pass Bottom here and fill it in
+// Complete).
 func (h *History) BeginWrite(proc core.ProcessID, now sim.Time) *Op {
-	op := &Op{Kind: OpWrite, Proc: proc, Start: now}
+	return h.BeginWriteKey(proc, core.DefaultRegister, now)
+}
+
+// BeginWriteKey records a write invocation on one register.
+func (h *History) BeginWriteKey(proc core.ProcessID, reg core.RegisterID, now sim.Time) *Op {
+	op := &Op{Kind: OpWrite, Proc: proc, Reg: reg, Start: now}
 	h.ops = append(h.ops, op)
 	return op
 }
 
-// BeginRead records a read invocation.
+// BeginRead records a register-0 read invocation.
 func (h *History) BeginRead(proc core.ProcessID, now sim.Time) *Op {
-	op := &Op{Kind: OpRead, Proc: proc, Start: now}
+	return h.BeginReadKey(proc, core.DefaultRegister, now)
+}
+
+// BeginReadKey records a read invocation on one register.
+func (h *History) BeginReadKey(proc core.ProcessID, reg core.RegisterID, now sim.Time) *Op {
+	op := &Op{Kind: OpRead, Proc: proc, Reg: reg, Start: now}
 	h.ops = append(h.ops, op)
 	return op
 }
@@ -124,8 +168,26 @@ func (h *History) Abandon(op *Op) {
 // Ops returns the recorded operations (live pointers; do not mutate).
 func (h *History) Ops() []*Op { return h.ops }
 
-// Initial returns the baseline value.
+// Initial returns register 0's baseline value.
 func (h *History) Initial() core.VersionedValue { return h.initial }
+
+// Keys returns every register the history names (always including 0),
+// ascending.
+func (h *History) Keys() []core.RegisterID {
+	set := map[core.RegisterID]bool{core.DefaultRegister: true}
+	for _, op := range h.ops {
+		set[op.Reg] = true
+	}
+	for k := range h.initials {
+		set[k] = true
+	}
+	out := make([]core.RegisterID, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Len returns the number of recorded operations.
 func (h *History) Len() int { return len(h.ops) }
@@ -167,48 +229,63 @@ func (h *History) Counts() Counts {
 	return c
 }
 
-// writes returns completed and pending writes sorted by start time, with
-// the virtual initial write prepended. Abandoned writes are skipped: they
-// were either never invoked (rejected at invocation) or cut short by the
-// invoker leaving; in the latter case their value, if it propagated at
-// all, carries a sequence number a later writer will supersede, and their
-// recorded value is ⊥ (allowedSNs guards it).
-func (h *History) writes() []*Op {
-	ws := []*Op{{
-		Kind:      OpWrite,
-		Start:     -1,
-		End:       0,
-		Value:     h.initial,
-		Completed: true,
-	}}
+// writesByKey returns, per register, the completed and pending writes
+// sorted by start time, with each key's virtual initial write prepended —
+// one pass over the history, not one per key. Abandoned writes are
+// skipped: they were either never invoked (rejected at invocation) or cut
+// short by the invoker leaving; in the latter case their value, if it
+// propagated at all, carries a sequence number a later writer will
+// supersede, and their recorded value is ⊥ (allowedSNs guards it).
+func (h *History) writesByKey() map[core.RegisterID][]*Op {
+	out := make(map[core.RegisterID][]*Op)
+	for _, k := range h.Keys() {
+		out[k] = []*Op{{
+			Kind:      OpWrite,
+			Reg:       k,
+			Start:     -1,
+			End:       0,
+			Value:     h.initialFor(k),
+			Completed: true,
+		}}
+	}
 	for _, op := range h.ops {
 		if op.Kind == OpWrite && !op.Abandoned {
-			ws = append(ws, op)
+			out[op.Reg] = append(out[op.Reg], op)
 		}
 	}
-	sort.SliceStable(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
-	return ws
+	// Ops are recorded at invocation, so each key's slice is already
+	// start-ordered except for histories assembled out of order by hand;
+	// the stable sort is cheap on sorted input and keeps those correct.
+	for _, ws := range out {
+		sort.SliceStable(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	}
+	return out
 }
 
 // ValidateWrites verifies the history respects the paper's write
-// discipline: no two writes overlap in time, and sequence numbers increase
-// with real-time order. A violation here means the workload (not the
-// protocol) is broken, so it is an error, not a Violation.
+// discipline PER KEY: no two writes to the same register overlap in time,
+// and each register's sequence numbers increase with real-time order.
+// (Writes to distinct registers may overlap freely — they are independent
+// objects.) A violation here means the workload (not the protocol) is
+// broken, so it is an error, not a Violation.
 func (h *History) ValidateWrites() error {
-	ws := h.writes()
-	for i := 1; i < len(ws); i++ {
-		prev, cur := ws[i-1], ws[i]
-		if prev.Completed && cur.Start < prev.End {
-			return fmt.Errorf("spec: writes overlap: %v(#%d) [%d,%d] and %v(#%d) starting %d",
-				prev.Proc, prev.Value.SN, prev.Start, prev.End, cur.Proc, cur.Value.SN, cur.Start)
-		}
-		if !prev.Completed {
-			return fmt.Errorf("spec: write %v(#%d) never completed but %v started later",
-				prev.Proc, prev.Value.SN, cur.Proc)
-		}
-		if cur.Completed && cur.Value.SN <= prev.Value.SN {
-			return fmt.Errorf("spec: write sequence numbers not increasing: #%d then #%d",
-				prev.Value.SN, cur.Value.SN)
+	wsByKey := h.writesByKey()
+	for _, reg := range h.Keys() {
+		ws := wsByKey[reg]
+		for i := 1; i < len(ws); i++ {
+			prev, cur := ws[i-1], ws[i]
+			if prev.Completed && cur.Start < prev.End {
+				return fmt.Errorf("spec: %v writes overlap: %v(#%d) [%d,%d] and %v(#%d) starting %d",
+					reg, prev.Proc, prev.Value.SN, prev.Start, prev.End, cur.Proc, cur.Value.SN, cur.Start)
+			}
+			if !prev.Completed {
+				return fmt.Errorf("spec: %v write %v(#%d) never completed but %v started later",
+					reg, prev.Proc, prev.Value.SN, cur.Proc)
+			}
+			if cur.Completed && cur.Value.SN <= prev.Value.SN {
+				return fmt.Errorf("spec: %v write sequence numbers not increasing: #%d then #%d",
+					reg, prev.Value.SN, cur.Value.SN)
+			}
 		}
 	}
 	return nil
@@ -217,8 +294,11 @@ func (h *History) ValidateWrites() error {
 // Violation describes a read that no regular register could return.
 type Violation struct {
 	Read *Op
-	// LastCompleted is the sequence number of the last write completed
-	// before the read's invocation.
+	// Reg is the register the offending read addressed — the checker
+	// attributes every violation to its key.
+	Reg core.RegisterID
+	// LastCompleted is the sequence number of the last write to Reg
+	// completed before the read's invocation.
 	LastCompleted core.SeqNum
 	// Allowed lists the sequence numbers a regular register could return.
 	Allowed []core.SeqNum
@@ -228,20 +308,23 @@ type Violation struct {
 
 // String renders the violation.
 func (v Violation) String() string {
-	return fmt.Sprintf("read by %v [%d,%d] returned #%d: %s (allowed %v)",
-		v.Read.Proc, v.Read.Start, v.Read.End, v.Read.Value.SN, v.Reason, v.Allowed)
+	return fmt.Sprintf("read of %v by %v [%d,%d] returned #%d: %s (allowed %v)",
+		v.Reg, v.Read.Proc, v.Read.Start, v.Read.End, v.Read.Value.SN, v.Reason, v.Allowed)
 }
 
 // CheckRegular returns every completed read that violates regularity: the
-// read must return the last value written before its invocation, or a
-// value written by a write concurrent with it.
+// read must return the last value written TO ITS REGISTER before its
+// invocation, or a value written to that register by a write concurrent
+// with it. Each key is checked against its own write history, so a
+// violation on key A is reported even when key B's ops are spotless.
 func (h *History) CheckRegular() []Violation {
-	ws := h.writes()
+	wsByKey := h.writesByKey()
 	var out []Violation
 	for _, r := range h.ops {
 		if r.Kind != OpRead || !r.Completed {
 			continue
 		}
+		ws := wsByKey[r.Reg]
 		allowed := allowedSNs(ws, r)
 		ok := false
 		for _, sn := range allowed {
@@ -259,6 +342,7 @@ func (h *History) CheckRegular() []Violation {
 			}
 			out = append(out, Violation{
 				Read:          r,
+				Reg:           r.Reg,
 				LastCompleted: lastCompletedSN(ws, r),
 				Allowed:       allowed,
 				Reason:        reason,
@@ -308,37 +392,48 @@ func allowedSNs(ws []*Op, r *Op) []core.SeqNum {
 	return out
 }
 
-// Inversion is a new/old inversion: two non-overlapping reads where the
-// later read returns an older value — legal for a regular register,
-// forbidden for an atomic one. The paper's introduction figure depicts
-// exactly this.
+// Inversion is a new/old inversion: two non-overlapping reads of the SAME
+// register where the later read returns an older value — legal for a
+// regular register, forbidden for an atomic one. The paper's introduction
+// figure depicts exactly this.
 type Inversion struct {
 	First, Second *Op
+	// Reg is the register both reads addressed.
+	Reg core.RegisterID
 }
 
 // String renders the inversion.
 func (iv Inversion) String() string {
-	return fmt.Sprintf("read by %v [%d,%d]=#%d precedes read by %v [%d,%d]=#%d",
-		iv.First.Proc, iv.First.Start, iv.First.End, iv.First.Value.SN,
+	return fmt.Sprintf("read of %v by %v [%d,%d]=#%d precedes read by %v [%d,%d]=#%d",
+		iv.Reg, iv.First.Proc, iv.First.Start, iv.First.End, iv.First.Value.SN,
 		iv.Second.Proc, iv.Second.Start, iv.Second.End, iv.Second.Value.SN)
 }
 
-// FindInversions returns every new/old inversion among completed reads.
-// An execution with zero regularity violations and zero inversions is a
-// legal atomic-register behaviour.
+// FindInversions returns every new/old inversion among completed reads,
+// per register — reads of distinct keys are unordered by definition and
+// can never invert. An execution with zero regularity violations and zero
+// inversions is a legal atomic-register behaviour.
 func (h *History) FindInversions() []Inversion {
-	var reads []*Op
+	readsByKey := make(map[core.RegisterID][]*Op)
 	for _, op := range h.ops {
 		if op.Kind == OpRead && op.Completed {
-			reads = append(reads, op)
+			readsByKey[op.Reg] = append(readsByKey[op.Reg], op)
 		}
 	}
-	sort.SliceStable(reads, func(i, j int) bool { return reads[i].End < reads[j].End })
+	regs := make([]core.RegisterID, 0, len(readsByKey))
+	for reg := range readsByKey {
+		regs = append(regs, reg)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
 	var out []Inversion
-	for i, r1 := range reads {
-		for _, r2 := range reads[i+1:] {
-			if r1.End < r2.Start && r1.Value.SN > r2.Value.SN {
-				out = append(out, Inversion{First: r1, Second: r2})
+	for _, reg := range regs {
+		reads := readsByKey[reg]
+		sort.SliceStable(reads, func(i, j int) bool { return reads[i].End < reads[j].End })
+		for i, r1 := range reads {
+			for _, r2 := range reads[i+1:] {
+				if r1.End < r2.Start && r1.Value.SN > r2.Value.SN {
+					out = append(out, Inversion{First: r1, Second: r2, Reg: reg})
+				}
 			}
 		}
 	}
@@ -352,21 +447,27 @@ func (h *History) FindInversions() []Inversion {
 // local copy register_i only ever advances — so the checker verifies it
 // as an additional implementation invariant.
 func (h *History) CheckMonotoneReads() []Violation {
-	lastByProc := make(map[core.ProcessID]*Op)
+	type procKey struct {
+		proc core.ProcessID
+		reg  core.RegisterID
+	}
+	lastByProc := make(map[procKey]*Op)
 	var out []Violation
 	for _, r := range h.ops {
 		if r.Kind != OpRead || !r.Completed {
 			continue
 		}
-		if prev, ok := lastByProc[r.Proc]; ok && r.Value.SN < prev.Value.SN {
+		pk := procKey{proc: r.Proc, reg: r.Reg}
+		if prev, ok := lastByProc[pk]; ok && r.Value.SN < prev.Value.SN {
 			out = append(out, Violation{
 				Read:          r,
+				Reg:           r.Reg,
 				LastCompleted: prev.Value.SN,
 				Allowed:       []core.SeqNum{prev.Value.SN},
 				Reason:        "process read went backwards (session violation)",
 			})
 		}
-		lastByProc[r.Proc] = r
+		lastByProc[pk] = r
 	}
 	return out
 }
@@ -376,12 +477,13 @@ func (h *History) CheckMonotoneReads() []Violation {
 // return the last completed write's value); concurrent reads may return
 // anything.
 func (h *History) CheckSafe() []Violation {
-	ws := h.writes()
+	wsByKey := h.writesByKey()
 	var out []Violation
 	for _, r := range h.ops {
 		if r.Kind != OpRead || !r.Completed {
 			continue
 		}
+		ws := wsByKey[r.Reg]
 		concurrent := false
 		for _, w := range ws[1:] { // skip the virtual initial write
 			if w.overlaps(r.Start, r.End) {
@@ -396,6 +498,7 @@ func (h *History) CheckSafe() []Violation {
 		if r.Value.SN != last {
 			out = append(out, Violation{
 				Read:          r,
+				Reg:           r.Reg,
 				LastCompleted: last,
 				Allowed:       []core.SeqNum{last},
 				Reason:        "non-concurrent read returned wrong value",

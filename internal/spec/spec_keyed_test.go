@@ -1,0 +1,131 @@
+package spec
+
+// Per-key checker coverage: each register of the namespace is its own
+// regular register, so a misbehaving key must be flagged — and attributed
+// to that key — no matter how clean the other keys' histories are, and a
+// clean key must never be incriminated by a neighbour's writes.
+
+import (
+	"testing"
+
+	"churnreg/internal/core"
+)
+
+const (
+	keyA = core.RegisterID(7)
+	keyB = core.RegisterID(9)
+)
+
+// keyedHistory builds: key A suffers a new/old inversion (and the stale
+// read behind it) while key B's history is spotless, with the two keys'
+// operations fully interleaved in time.
+func keyedHistory() *History {
+	h := NewHistory(core.VersionedValue{})
+	// Key A: one write #1, then two non-overlapping reads that invert —
+	// the second returns the implicit initial #0 after #1 was read.
+	wa := h.BeginWriteKey(1, keyA, 0)
+	h.CompleteWrite(wa, 5, vv(10, 1))
+	ra1 := h.BeginReadKey(2, keyA, 10)
+	h.CompleteRead(ra1, 12, vv(10, 1))
+	ra2 := h.BeginReadKey(3, keyA, 14)
+	h.CompleteRead(ra2, 16, vv(0, 0))
+	// Key B, interleaved: two writes and two fresh reads, all legal.
+	wb1 := h.BeginWriteKey(4, keyB, 1)
+	h.CompleteWrite(wb1, 6, vv(70, 1))
+	rb1 := h.BeginReadKey(5, keyB, 11)
+	h.CompleteRead(rb1, 13, vv(70, 1))
+	wb2 := h.BeginWriteKey(4, keyB, 14)
+	h.CompleteWrite(wb2, 18, vv(71, 2))
+	rb2 := h.BeginReadKey(5, keyB, 20)
+	h.CompleteRead(rb2, 22, vv(71, 2))
+	return h
+}
+
+func TestPerKeyInversionAttributedToItsKey(t *testing.T) {
+	h := keyedHistory()
+	ivs := h.FindInversions()
+	if len(ivs) != 1 {
+		t.Fatalf("inversions = %d (%v), want exactly the key-A one", len(ivs), ivs)
+	}
+	if ivs[0].Reg != keyA {
+		t.Fatalf("inversion attributed to %v, want %v", ivs[0].Reg, keyA)
+	}
+	if ivs[0].First.Value.SN != 1 || ivs[0].Second.Value.SN != 0 {
+		t.Fatalf("inversion pairs #%d then #%d, want #1 then #0",
+			ivs[0].First.Value.SN, ivs[0].Second.Value.SN)
+	}
+}
+
+func TestPerKeyViolationAttributedToItsKey(t *testing.T) {
+	h := keyedHistory()
+	if err := h.ValidateWrites(); err != nil {
+		t.Fatalf("interleaved writes on distinct keys must be legal: %v", err)
+	}
+	vs := h.CheckRegular()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d (%v), want exactly the stale key-A read", len(vs), vs)
+	}
+	if vs[0].Reg != keyA || vs[0].Read.Proc != 3 {
+		t.Fatalf("violation attributed to %v at %v, want %v at p3", vs[0].Reg, vs[0].Read.Proc, keyA)
+	}
+	if vs[0].LastCompleted != 1 {
+		t.Fatalf("LastCompleted = %d, want key A's #1 (not key B's #2)", vs[0].LastCompleted)
+	}
+}
+
+func TestViolationNotMaskedByOtherKeysWrites(t *testing.T) {
+	// A read of key A returns sequence number 2 — a value key A never
+	// held, but key B DID write #2. A checker that pooled all writes
+	// would accept the read; the per-key checker must flag it as a
+	// from-the-future value on key A.
+	h := NewHistory(core.VersionedValue{})
+	wa := h.BeginWriteKey(1, keyA, 0)
+	h.CompleteWrite(wa, 5, vv(10, 1))
+	wb1 := h.BeginWriteKey(2, keyB, 1)
+	h.CompleteWrite(wb1, 6, vv(70, 1))
+	wb2 := h.BeginWriteKey(2, keyB, 7)
+	h.CompleteWrite(wb2, 12, vv(71, 2))
+	ra := h.BeginReadKey(3, keyA, 20)
+	h.CompleteRead(ra, 22, vv(99, 2))
+	vs := h.CheckRegular()
+	if len(vs) != 1 || vs[0].Reg != keyA {
+		t.Fatalf("violations = %v, want one on %v", vs, keyA)
+	}
+	if vs[0].Reason != "value from the future (sequence number never written in window)" {
+		t.Fatalf("reason = %q, want from-the-future diagnosis", vs[0].Reason)
+	}
+}
+
+func TestCleanKeyNotIncriminatedByNeighbourHistory(t *testing.T) {
+	h := keyedHistory()
+	for _, v := range h.CheckRegular() {
+		if v.Reg == keyB {
+			t.Fatalf("clean key %v flagged: %v", keyB, v)
+		}
+	}
+	for _, iv := range h.FindInversions() {
+		if iv.Reg == keyB {
+			t.Fatalf("clean key %v flagged: %v", keyB, iv)
+		}
+	}
+	// The per-process session check is per (process, key) too: p5's #1
+	// read on B after p2's #1 on A must not read as a regression.
+	if ms := h.CheckMonotoneReads(); len(ms) != 0 {
+		t.Fatalf("monotone-read violations on a per-key-clean history: %v", ms)
+	}
+}
+
+func TestSetInitialKeyBaselinesNonZeroKey(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	h.SetInitialKey(keyA, vv(42, 3))
+	// A read of key A returning the configured baseline is legal...
+	r1 := h.BeginReadKey(1, keyA, 5)
+	h.CompleteRead(r1, 6, vv(42, 3))
+	// ...and one returning the implicit ⟨0,#0⟩ is stale.
+	r2 := h.BeginReadKey(1, keyA, 8)
+	h.CompleteRead(r2, 9, vv(0, 0))
+	vs := h.CheckRegular()
+	if len(vs) != 1 || vs[0].Read != r2 {
+		t.Fatalf("violations = %v, want only the pre-baseline read", vs)
+	}
+}

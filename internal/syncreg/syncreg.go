@@ -1,26 +1,43 @@
 // Package syncreg implements the paper's synchronous-system regular
-// register protocol (§3, Figures 1 and 2).
+// register protocol (§3, Figures 1 and 2), generalized from one register
+// to a keyed register namespace served by a single join.
 //
 // Protocol shape:
 //
 //   - join (Figure 1): initialize, wait δ (the pre-wait Figure 3 motivates),
-//     and if no WRITE arrived meanwhile, broadcast INQUIRY and wait 2δ (a
-//     broadcast round plus a point-to-point reply round); adopt the highest
-//     sequence number received; become active; answer inquiries deferred
-//     while joining.
-//   - read (Figure 2): purely local — return the local copy. This is the
-//     protocol's "fast reads" design point.
-//   - write (Figure 2): increment the sequence number, update the local
-//     copy, broadcast WRITE, wait δ so the broadcast's timely delivery
-//     property has taken effect everywhere, then return.
+//     broadcast INQUIRY and wait 2δ (a broadcast round plus a point-to-point
+//     reply round); adopt, per key, the highest sequence number received;
+//     become active; answer inquiries deferred while joining.
+//   - read (Figure 2): purely local — return the local copy of the key.
+//     This is the protocol's "fast reads" design point.
+//   - write (Figure 2): increment the key's sequence number, update the
+//     local copy, broadcast WRITE, wait δ so the broadcast's timely
+//     delivery property has taken effect everywhere, then return. A batch
+//     write updates several keys with the same single broadcast and δ wait.
+//
+// Membership vs. register state: the join, the active flag, and the
+// deferred-inquiry bookkeeping are maintained once per process; everything
+// register-valued lives in a map keyed by core.RegisterID, instantiated
+// lazily when a WRITE or read first names a key. A join reply carries the
+// replier's whole register space in one message (batch dissemination), so
+// joining once suffices no matter how many keys exist.
+//
+// The seed's "register ≠ ⊥ ⇒ skip the INQUIRY" fast path (Figure 1 line
+// 03) is gone: it was sound only for a single register (any observed WRITE
+// supersedes every earlier one), but in a namespace a WRITE on key A says
+// nothing about a write on key B the joiner missed, so a joiner that
+// skipped its inquiry could serve stale reads on keys it never heard of.
+// Every join now broadcasts exactly one INQUIRY — which also gives the
+// membership layer a clean one-join-one-inquiry invariant to assert.
 //
 // Correctness requires the churn bound c < 1/(3δ) (Theorem 1); the package
 // does not enforce the bound — experiments explore both sides of it.
 package syncreg
 
 import (
+	"fmt"
+
 	"churnreg/internal/core"
-	"churnreg/internal/sim"
 )
 
 // Options tune the protocol for experiments.
@@ -37,22 +54,23 @@ type Node struct {
 	env  core.Env
 	opts Options
 
-	// register is the pair (register_i, sn_i); ⊥ while joining.
-	register core.VersionedValue
+	// regs holds (register_i, sn_i) per key; a key is absent until a value
+	// for it is learned (⊥ in the paper's terms, or the implicit initial
+	// for keys other than 0 once active — see core.RegStore.Value).
+	regs *core.RegStore
 	// active is active_i: true once join returned.
 	active bool
-	// replies is replies_i: best value received per replying process.
-	replies map[core.ProcessID]core.VersionedValue
 	// replyTo is reply_to_i: processes whose INQUIRY arrived while we were
 	// joining, in arrival order.
 	replyTo []core.ProcessID
 	// replyToSeen dedupes replyTo.
 	replyToSeen map[core.ProcessID]bool
+	// writing marks keys with an in-flight write (per-key op discipline;
+	// writes to distinct keys may overlap on one node).
+	writing map[core.RegisterID]bool
 
-	joining      bool
-	joinDone     []func()
-	writing      bool
-	writeStarted sim.Time
+	joining  bool
+	joinDone []func()
 
 	stats Stats
 }
@@ -61,26 +79,25 @@ type Node struct {
 type Stats struct {
 	Reads            uint64
 	Writes           uint64
+	BatchWrites      uint64 // batched broadcasts (each covering >= 1 key)
+	JoinInquiries    uint64 // INQUIRY broadcasts sent by this node's join (0 or 1)
 	InquiriesServed  uint64
 	InquiriesDelayed uint64
 	StaleWritesSeen  uint64 // WRITE deliveries with sn <= local sn
-	JoinSkippedWait  bool   // join found register != ⊥ after the pre-wait
 }
 
-// New builds a node. Bootstrap nodes hold the initial value and are active
-// immediately; all others start the join operation when Start is called.
+// New builds a node. Bootstrap nodes hold the initial values and are
+// active immediately; all others start the join operation when Start is
+// called.
 func New(env core.Env, sc core.SpawnContext, opts Options) *Node {
 	n := &Node{
 		env:         env,
 		opts:        opts,
-		register:    core.Bottom(),
-		replies:     make(map[core.ProcessID]core.VersionedValue),
+		regs:        core.NewRegStore(sc),
 		replyToSeen: make(map[core.ProcessID]bool),
+		writing:     make(map[core.RegisterID]bool),
 	}
-	if sc.Bootstrap {
-		n.register = sc.Initial
-		n.active = true
-	}
+	n.active = sc.Bootstrap
 	return n
 }
 
@@ -93,11 +110,24 @@ func Factory(opts Options) core.NodeFactory {
 
 // Compile-time interface checks.
 var (
-	_ core.Node        = (*Node)(nil)
-	_ core.LocalReader = (*Node)(nil)
-	_ core.Writer      = (*Node)(nil)
-	_ core.Joiner      = (*Node)(nil)
+	_ core.Node             = (*Node)(nil)
+	_ core.LocalReader      = (*Node)(nil)
+	_ core.Writer           = (*Node)(nil)
+	_ core.Joiner           = (*Node)(nil)
+	_ core.KeyedLocalReader = (*Node)(nil)
+	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.BatchWriter      = (*Node)(nil)
+	_ core.KeyedSnapshotter = (*Node)(nil)
 )
+
+// value and merge are per-key store accessors threading the node's
+// activation state (see core.RegStore.Value for the ⊥/implicit-initial
+// rules).
+func (n *Node) value(k core.RegisterID) core.VersionedValue { return n.regs.Value(k, n.active) }
+
+func (n *Node) merge(k core.RegisterID, v core.VersionedValue) bool {
+	return n.regs.Merge(k, v, n.active)
+}
 
 // Start implements core.Node: bootstrap nodes are active at once; others
 // run the join operation of Figure 1.
@@ -112,7 +142,7 @@ func (n *Node) Start() {
 // startJoin is operation join(i), Figure 1 lines 01-12.
 func (n *Node) startJoin() {
 	n.joining = true
-	// Line 01: initialization happened in New (register=⊥, sets empty).
+	// Line 01: initialization happened in New (regs empty, sets empty).
 	preWait := n.env.Delta()
 	if n.opts.SkipInitialWait {
 		preWait = 0
@@ -122,38 +152,30 @@ func (n *Node) startJoin() {
 	// happened before we entered only if it also terminates before we
 	// finish waiting — see Figure 3b).
 	n.env.After(preWait, func() {
-		// Line 03: if register_i = ⊥ then inquire.
-		if !n.register.IsBottom() {
-			n.stats.JoinSkippedWait = true
-			n.completeJoin()
-			return
-		}
 		// Lines 04-06: broadcast INQUIRY(i) and wait 2δ (the broadcast
-		// dissemination bound plus the point-to-point reply bound).
-		n.replies = make(map[core.ProcessID]core.VersionedValue)
+		// dissemination bound plus the point-to-point reply bound). This
+		// is the process's one and only join inquiry, whatever number of
+		// registers the namespace holds.
+		n.stats.JoinInquiries++
 		n.env.Broadcast(core.InquiryMsg{From: n.env.ID(), RSN: core.JoinReadSeq})
 		n.env.After(2*n.env.Delta(), n.completeJoin)
 	})
 }
 
-// completeJoin is Figure 1 lines 07-12.
+// completeJoin is Figure 1 lines 07-12. Reply values were merged on
+// arrival (per key), so only the activation and deferred replies remain.
 func (n *Node) completeJoin() {
 	if !n.joining {
 		return
 	}
 	n.joining = false
-	// Lines 07-08: adopt the most up-to-date value among the replies.
-	for _, v := range n.replies {
-		if v.MoreRecent(n.register) {
-			n.register = v
-		}
-	}
 	// Line 10: become active.
 	n.active = true
 	n.env.MarkActive()
-	// Line 11: answer inquiries deferred while we were joining.
+	// Line 11: answer inquiries deferred while we were joining — each
+	// answer carries our full register space.
 	for _, j := range n.replyTo {
-		n.env.Send(j, core.ReplyMsg{From: n.env.ID(), Value: n.register})
+		n.env.Send(j, n.snapshotReply())
 	}
 	n.replyTo = nil
 	n.replyToSeen = make(map[core.ProcessID]bool)
@@ -163,6 +185,13 @@ func (n *Node) completeJoin() {
 	for _, f := range done {
 		f()
 	}
+}
+
+// snapshotReply builds a REPLY carrying this node's entire register space
+// (see core.RegStore.SnapshotReply). The synchronous protocol leaves RSN
+// at its zero value.
+func (n *Node) snapshotReply() core.ReplyMsg {
+	return n.regs.SnapshotReply(n.env.ID(), core.JoinReadSeq, n.active)
 }
 
 // OnJoined implements core.Joiner: done runs when the join returns ok (or
@@ -181,42 +210,100 @@ func (n *Node) OnJoined(done func()) {
 // Active implements core.Node.
 func (n *Node) Active() bool { return n.active }
 
-// Snapshot implements core.Node.
-func (n *Node) Snapshot() core.VersionedValue { return n.register }
+// Snapshot implements core.Node (key 0's local copy).
+func (n *Node) Snapshot() core.VersionedValue { return n.value(core.DefaultRegister) }
+
+// SnapshotKey implements core.KeyedSnapshotter.
+func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue { return n.value(k) }
+
+// Keys implements core.KeyedSnapshotter.
+func (n *Node) Keys() []core.RegisterID { return n.regs.Keys() }
 
 // Stats returns a copy of this node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
-// ReadLocal implements core.LocalReader — operation read(), Figure 2: the
-// read is fast, returning the local copy with no communication and no wait.
+// ReadLocal implements core.LocalReader — key-0 sugar for ReadLocalKey.
 func (n *Node) ReadLocal() (core.VersionedValue, error) {
+	return n.ReadLocalKey(core.DefaultRegister)
+}
+
+// ReadLocalKey implements core.KeyedLocalReader — operation read(),
+// Figure 2: the read is fast, returning the local copy of the key with no
+// communication and no wait.
+func (n *Node) ReadLocalKey(k core.RegisterID) (core.VersionedValue, error) {
 	if !n.active {
 		return core.Bottom(), core.ErrNotActive
 	}
 	n.stats.Reads++
-	return n.register, nil
+	return n.value(k), nil
 }
 
-// Write implements core.Writer — operation write(v), Figure 2 lines 01-02.
-// The paper assumes writes are not concurrent with one another (one writer,
-// or coordinated writers); done runs when the write returns ok.
+// Write implements core.Writer — key-0 sugar for WriteKey.
 func (n *Node) Write(v core.Value, done func()) error {
+	return n.WriteKey(core.DefaultRegister, v, done)
+}
+
+// WriteKey implements core.KeyedWriter — operation write(v), Figure 2
+// lines 01-02, on one key. The paper assumes writes to a key are not
+// concurrent with one another (one writer, or coordinated writers); done
+// runs when the write returns ok. Writes to distinct keys may overlap.
+func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	if n.writing {
+	if n.writing[k] {
 		return core.ErrOpInProgress
 	}
-	n.writing = true
-	n.writeStarted = n.env.Now()
+	n.writing[k] = true
 	n.stats.Writes++
 	// Line 01: sn_w := sn_w + 1; register := v; broadcast WRITE(v, sn_w).
-	n.register = core.VersionedValue{Val: v, SN: n.register.SN + 1}
-	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: n.register})
+	next := core.VersionedValue{Val: v, SN: n.value(k).SN + 1}
+	n.regs.Store(k, next)
+	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k})
 	// Line 02: wait(δ); return ok. After δ every process present at the
 	// broadcast that has not left holds the value.
 	n.env.After(n.env.Delta(), func() {
-		n.writing = false
+		delete(n.writing, k)
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// WriteBatch implements core.BatchWriter: one broadcast carries updates
+// for every named key, and the single δ wait covers them all — the
+// synchronous model's batching dividend. Entries must be sorted by Reg
+// with no duplicates.
+func (n *Node) WriteBatch(entries []core.KeyedWrite, done func()) error {
+	if !n.active {
+		return core.ErrNotActive
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("syncreg: empty batch")
+	}
+	for i, e := range entries {
+		if i > 0 && entries[i-1].Reg >= e.Reg {
+			return fmt.Errorf("syncreg: batch entries not sorted/unique at %v", e.Reg)
+		}
+		if n.writing[e.Reg] {
+			return core.ErrOpInProgress
+		}
+	}
+	n.stats.BatchWrites++
+	n.stats.Writes += uint64(len(entries))
+	out := make([]core.KeyedValue, len(entries))
+	for i, e := range entries {
+		next := core.VersionedValue{Val: e.Val, SN: n.value(e.Reg).SN + 1}
+		n.regs.Store(e.Reg, next)
+		n.writing[e.Reg] = true
+		out[i] = core.KeyedValue{Reg: e.Reg, Value: next}
+	}
+	n.env.Broadcast(core.WriteBatchMsg{From: n.env.ID(), Entries: out})
+	n.env.After(n.env.Delta(), func() {
+		for _, e := range entries {
+			delete(n.writing, e.Reg)
+		}
 		if done != nil {
 			done()
 		}
@@ -234,6 +321,8 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 		n.handleReply(msg)
 	case core.WriteMsg:
 		n.handleWrite(msg)
+	case core.WriteBatchMsg:
+		n.handleWriteBatch(msg)
 	default:
 		// Other kinds belong to the eventually synchronous protocol; a
 		// mixed deployment is a configuration bug we surface loudly in
@@ -245,9 +334,10 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 // handleInquiry is Figure 1 lines 13-16.
 func (n *Node) handleInquiry(m core.InquiryMsg) {
 	if n.active {
-		// Line 14: active processes answer immediately.
+		// Line 14: active processes answer immediately, with their whole
+		// register space in one message.
 		n.stats.InquiriesServed++
-		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.register})
+		n.env.Send(m.From, n.snapshotReply())
 		return
 	}
 	// Line 15: postpone the answer until our own join completes.
@@ -258,19 +348,33 @@ func (n *Node) handleInquiry(m core.InquiryMsg) {
 	}
 }
 
-// handleReply is Figure 1 line 17.
+// handleReply is Figure 1 line 17, merged eagerly per key: keeping only
+// the per-key maximum is equivalent to the paper's replies set because
+// the line 07 fold is a max anyway. Replies landing after the inquiry
+// window closed are ignored, exactly as the seed's set was discarded at
+// join completion — after the join, only WRITEs mutate register state.
 func (n *Node) handleReply(m core.ReplyMsg) {
-	if cur, ok := n.replies[m.From]; !ok || m.Value.MoreRecent(cur) {
-		n.replies[m.From] = m.Value
+	if !n.joining {
+		return
 	}
+	m.Entries(func(k core.RegisterID, v core.VersionedValue) {
+		n.merge(k, v)
+	})
 }
 
 // handleWrite is Figure 2 lines 03-04 — runs at any process, active or
 // joining (a joining process is in listening mode and applies writes).
 func (n *Node) handleWrite(m core.WriteMsg) {
-	if m.Value.MoreRecent(n.register) {
-		n.register = m.Value
-	} else {
+	if !n.merge(m.Reg, m.Value) {
 		n.stats.StaleWritesSeen++
+	}
+}
+
+// handleWriteBatch applies each entry exactly as a lone WRITE would be.
+func (n *Node) handleWriteBatch(m core.WriteBatchMsg) {
+	for _, kv := range m.Entries {
+		if !n.merge(kv.Reg, kv.Value) {
+			n.stats.StaleWritesSeen++
+		}
 	}
 }

@@ -92,22 +92,27 @@ func TestJoinTimerSequence(t *testing.T) {
 	}
 }
 
-func TestJoinSkipsInquiryWhenWriteArrived(t *testing.T) {
+func TestJoinStillInquiresWhenWriteArrived(t *testing.T) {
+	// A WRITE observed during the pre-wait used to short-circuit the
+	// INQUIRY (sound for a single register: any observed write supersedes
+	// every earlier one). In the keyed namespace a write on one key says
+	// nothing about other keys, so the joiner must inquire regardless —
+	// exactly once — while still adopting the value it overheard.
 	n, env := newJoining(Options{})
-	// A WRITE lands during the pre-wait (listening mode).
 	n.Deliver(1, core.WriteMsg{From: 1, Value: core.VersionedValue{Val: 6, SN: 3}})
-	env.fire(t) // pre-wait ends: register ≠ ⊥ → no INQUIRY, active at once
-	if len(env.bcasts) != 0 {
-		t.Fatalf("INQUIRY broadcast despite register≠⊥: %v", env.bcasts)
+	env.fire(t) // pre-wait ends → INQUIRY despite the adopted value
+	if len(env.bcasts) != 1 || env.bcasts[0].Kind() != core.KindInquiry {
+		t.Fatalf("broadcasts after pre-wait = %v, want exactly one INQUIRY", env.bcasts)
 	}
+	env.fire(t) // inquiry window closes
 	if !n.Active() {
-		t.Fatal("fast-path join did not activate")
+		t.Fatal("join did not activate at window close")
 	}
 	if v := n.Snapshot(); v.SN != 3 || v.Val != 6 {
-		t.Fatalf("fast-path adopted %v", v)
+		t.Fatalf("adopted %v, want the overheard ⟨6,#3⟩", v)
 	}
-	if !n.Stats().JoinSkippedWait {
-		t.Fatal("fast path not counted")
+	if got := n.Stats().JoinInquiries; got != 1 {
+		t.Fatalf("join inquiries = %d, want exactly 1", got)
 	}
 }
 

@@ -1,11 +1,20 @@
 // Package workload drives operations against a running dynamic system and
 // records them into a spec.History: a single designated writer issuing
-// periodic writes (the paper's one-writer discipline), random active
-// readers, and optional read probes fired the moment a join completes —
-// the access pattern that makes Figure 3a-style staleness observable.
+// periodic writes (the paper's one-writer discipline, per key), random
+// active readers, and optional read probes fired the moment a join
+// completes — the access pattern that makes Figure 3a-style staleness
+// observable.
+//
+// Multi-key workloads: Config.Keys spreads the same op stream over a
+// keyed register namespace, with each op's key drawn from a Zipf rank
+// distribution (Config.ZipfS; 0 = uniform) — the canonical skew of
+// production key-value traffic, where a few hot keys absorb most ops and
+// a long tail stays cold.
 package workload
 
 import (
+	"math"
+
 	"churnreg/internal/core"
 	"churnreg/internal/dynsys"
 	"churnreg/internal/sim"
@@ -25,6 +34,15 @@ type Config struct {
 	JoinReadProbe bool
 	// FirstValue seeds the written value sequence (values increment).
 	FirstValue core.Value
+	// Keys is the number of registers the workload spreads over (keys
+	// 0..Keys-1). 0 or 1 keeps the seed's single-register behaviour —
+	// and, crucially, an identical RNG draw sequence, so single-key runs
+	// replay byte-for-byte.
+	Keys int
+	// ZipfS is the Zipf exponent of the key popularity distribution:
+	// P(rank r) ∝ 1/(r+1)^s. 0 selects keys uniformly. Only meaningful
+	// when Keys > 1.
+	ZipfS float64
 }
 
 // Stats counts workload outcomes.
@@ -60,6 +78,7 @@ type Runner struct {
 
 	writerID core.ProcessID
 	nextVal  core.Value
+	keyCum   []float64
 	stats    Stats
 
 	// pending maps a process to its in-flight recorded op, so departures
@@ -82,7 +101,36 @@ func New(sys *dynsys.System, history *spec.History, guard *Guard, cfg Config) *R
 		nextVal: cfg.FirstValue,
 		pending: make(map[core.ProcessID]*spec.Op),
 	}
+	if cfg.Keys > 1 {
+		// Precompute the cumulative Zipf weights once; sampling is a
+		// single uniform draw plus a scan.
+		r.keyCum = make([]float64, cfg.Keys)
+		total := 0.0
+		for i := 0; i < cfg.Keys; i++ {
+			w := 1.0
+			if cfg.ZipfS > 0 {
+				w = 1.0 / math.Pow(float64(i+1), cfg.ZipfS)
+			}
+			total += w
+			r.keyCum[i] = total
+		}
+	}
 	return r
+}
+
+// pickKey draws the next op's register. Single-key configurations return
+// key 0 without consuming randomness (seed-replay compatibility).
+func (r *Runner) pickKey() core.RegisterID {
+	if len(r.keyCum) == 0 {
+		return core.DefaultRegister
+	}
+	u := r.sys.Rand().Float64() * r.keyCum[len(r.keyCum)-1]
+	for i, c := range r.keyCum {
+		if u < c {
+			return core.RegisterID(i)
+		}
+	}
+	return core.RegisterID(len(r.keyCum) - 1)
 }
 
 // Stats returns workload counters.
@@ -104,7 +152,7 @@ func (r *Runner) Start() {
 			}
 			j.OnJoined(func() {
 				r.stats.JoinProbes++
-				r.readOn(id)
+				r.readOn(id, r.pickKey())
 			})
 		})
 	}
@@ -154,18 +202,39 @@ func (r *Runner) writeTick() {
 			return
 		}
 	}
-	node := r.sys.Node(r.writerID)
-	w, ok := node.(core.Writer)
-	if !ok {
+	if _, busy := r.pending[r.writerID]; busy {
+		// The previous write (possibly on another key, where the node's
+		// per-key discipline would admit a second one) has not returned:
+		// issuing now would clobber its pending record, leaving an op
+		// neither completed nor abandoned. The runner records one op per
+		// process at a time.
+		r.stats.WriteBusy++
 		return
 	}
+	node := r.sys.Node(r.writerID)
+	k := r.pickKey()
+	// Protocols without the keyed interfaces (e.g. the atomicreg wrapper)
+	// still serve the default register through the legacy Writer.
+	if _, keyed := node.(core.KeyedWriter); !keyed {
+		k = core.DefaultRegister
+	}
 	v := r.nextVal
-	op := r.history.BeginWrite(r.writerID, r.sys.Now())
+	op := r.history.BeginWriteKey(r.writerID, k, r.sys.Now())
 	id := r.writerID
-	err := w.Write(v, func() {
-		r.history.CompleteWrite(op, r.sys.Now(), node.Snapshot())
+	done := func() {
+		r.history.CompleteWrite(op, r.sys.Now(), core.SnapshotKey(node, k))
 		delete(r.pending, id)
-	})
+	}
+	var err error
+	switch w := node.(type) {
+	case core.KeyedWriter:
+		err = w.WriteKey(k, v, done)
+	case core.Writer:
+		err = w.Write(v, done)
+	default:
+		r.history.Abandon(op)
+		return
+	}
 	if err != nil {
 		// Busy or not active: withdraw the record entirely — the
 		// operation was never invoked.
@@ -189,14 +258,14 @@ func (r *Runner) readTick() {
 			r.stats.NoActiveReaders++
 			return
 		}
-		r.readOn(id)
+		r.readOn(id, r.pickKey())
 	}
 }
 
-// readOn issues one read on process id, recording it in the history.
-// Protocols with local reads complete instantaneously; quorum protocols
-// complete via callback.
-func (r *Runner) readOn(id core.ProcessID) {
+// readOn issues one read of register k on process id, recording it in the
+// history. Protocols with local reads complete instantaneously; quorum
+// protocols complete via callback.
+func (r *Runner) readOn(id core.ProcessID, k core.RegisterID) {
 	node := r.sys.Node(id)
 	if node == nil {
 		return
@@ -206,7 +275,29 @@ func (r *Runner) readOn(id core.ProcessID) {
 		return
 	}
 	switch n := node.(type) {
+	case core.KeyedLocalReader:
+		op := r.history.BeginReadKey(id, k, r.sys.Now())
+		v, err := n.ReadLocalKey(k)
+		if err != nil {
+			r.history.Abandon(op)
+			r.stats.ReadBusy++
+			return
+		}
+		r.history.CompleteRead(op, r.sys.Now(), v)
+	case core.KeyedReader:
+		op := r.history.BeginReadKey(id, k, r.sys.Now())
+		err := n.ReadKey(k, func(v core.VersionedValue) {
+			r.history.CompleteRead(op, r.sys.Now(), v)
+			delete(r.pending, id)
+		})
+		if err != nil {
+			r.history.Abandon(op)
+			r.stats.ReadBusy++
+			return
+		}
+		r.pending[id] = op
 	case core.LocalReader:
+		// Legacy single-register protocols: serve key 0 only.
 		op := r.history.BeginRead(id, r.sys.Now())
 		v, err := n.ReadLocal()
 		if err != nil {

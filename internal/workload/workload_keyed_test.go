@@ -1,0 +1,69 @@
+package workload_test
+
+// Multi-key workload coverage: ops spread over the namespace under a Zipf
+// popularity skew, with per-key regularity holding below the churn bound.
+
+import (
+	"testing"
+
+	"churnreg/internal/core"
+	"churnreg/internal/spec"
+	"churnreg/internal/syncreg"
+	"churnreg/internal/workload"
+)
+
+func TestMultiKeyWorkloadSpreadsOverNamespace(t *testing.T) {
+	sys, h, _ := build(t, syncreg.Factory(syncreg.Options{}), 0.01, workload.Config{
+		WritePeriod: 10,
+		ReadPeriod:  5,
+		ReadFanout:  2,
+		Keys:        16,
+		ZipfS:       1.0,
+	})
+	if err := sys.RunFor(2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ValidateWrites(); err != nil {
+		t.Fatalf("per-key write discipline broken: %v", err)
+	}
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("multi-key run below the churn bound violated regularity: %v", v[0])
+	}
+	// The Zipf skew must actually spread ops: several distinct keys
+	// written, with key 0 (rank 1) the hottest.
+	writesPerKey := make(map[core.RegisterID]int)
+	for _, op := range h.Ops() {
+		if op.Kind == spec.OpWrite {
+			writesPerKey[op.Reg]++
+		}
+	}
+	if len(writesPerKey) < 5 {
+		t.Fatalf("writes touched %d keys, want a spread over the namespace", len(writesPerKey))
+	}
+	for k, n := range writesPerKey {
+		if k != core.DefaultRegister && n > writesPerKey[core.DefaultRegister] {
+			t.Fatalf("Zipf rank 1 (key 0, %d writes) outdrawn by %v (%d writes)",
+				writesPerKey[core.DefaultRegister], k, n)
+		}
+	}
+}
+
+func TestSingleKeyConfigKeepsSeedBehaviour(t *testing.T) {
+	// Keys <= 1 must not consume workload randomness, so a single-key run
+	// replays the seed's op sequence exactly: every recorded op is key 0.
+	sys, h, _ := build(t, syncreg.Factory(syncreg.Options{}), 0.01, workload.Config{
+		WritePeriod: 10,
+		ReadPeriod:  5,
+	})
+	if err := sys.RunFor(500); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range h.Ops() {
+		if op.Reg != core.DefaultRegister {
+			t.Fatalf("single-key workload issued op on %v", op.Reg)
+		}
+	}
+	if h.Counts().WritesCompleted == 0 {
+		t.Fatal("no writes completed")
+	}
+}

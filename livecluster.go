@@ -32,12 +32,13 @@ func NewLiveCluster(opt ...Option) (*LiveCluster, error) {
 		return nil, err
 	}
 	cl, err := livenet.New(livenet.Config{
-		N:       o.n,
-		Delta:   sim.Duration(o.delta),
-		Tick:    o.tick,
-		Factory: o.factory(),
-		Seed:    o.seed,
-		Initial: core.VersionedValue{Val: core.Value(o.initial), SN: 0},
+		N:        o.n,
+		Delta:    sim.Duration(o.delta),
+		Tick:     o.tick,
+		Factory:  o.factory(),
+		Seed:     o.seed,
+		Initial:  core.VersionedValue{Val: core.Value(o.initial), SN: 0},
+		Initials: o.initialKeys,
 	})
 	if err != nil {
 		return nil, err
@@ -76,10 +77,17 @@ func (c *LiveCluster) Leave(id ProcessID) error { return c.cluster.Kill(id) }
 // WriterID returns the currently designated writer process.
 func (c *LiveCluster) WriterID() ProcessID { return c.writer }
 
-// Write stores v via the designated writer process. Calls must not be
-// issued concurrently with one another (the paper's write discipline).
+// Write stores v in register 0 via the designated writer process — sugar
+// for WriteKey(DefaultRegister, v).
 func (c *LiveCluster) Write(v int64) error {
-	err := c.cluster.Write(c.writer, core.Value(v), c.opts.opTimeout)
+	return c.WriteKey(core.DefaultRegister, v)
+}
+
+// WriteKey stores v in one register via the designated writer process.
+// Calls addressing the same key must not be issued concurrently with one
+// another (the paper's write discipline, per key).
+func (c *LiveCluster) WriteKey(k RegisterID, v int64) error {
+	err := c.cluster.WriteKey(c.writer, k, core.Value(v), c.opts.opTimeout)
 	if err == livenet.ErrAbsent {
 		// The writer left; adopt another process and retry once. Before
 		// the successor writes it must hold the departed writer's last
@@ -95,27 +103,37 @@ func (c *LiveCluster) Write(v int64) error {
 			return ErrNoActiveProcess
 		}
 		c.writer = ids[0]
-		err = c.cluster.Write(c.writer, core.Value(v), c.opts.opTimeout)
+		err = c.cluster.WriteKey(c.writer, k, core.Value(v), c.opts.opTimeout)
 	}
 	if err != nil {
-		return fmt.Errorf("churnreg: live write: %w", err)
+		return fmt.Errorf("churnreg: live write %v: %w", k, err)
 	}
 	return nil
 }
 
-// WriteAt stores v via a specific process.
+// WriteAt stores v in register 0 via a specific process.
 func (c *LiveCluster) WriteAt(id ProcessID, v int64) error {
-	if err := c.cluster.Write(id, core.Value(v), c.opts.opTimeout); err != nil {
-		return fmt.Errorf("churnreg: live write at %v: %w", id, err)
+	return c.WriteKeyAt(id, core.DefaultRegister, v)
+}
+
+// WriteKeyAt stores v in one register via a specific process.
+func (c *LiveCluster) WriteKeyAt(id ProcessID, k RegisterID, v int64) error {
+	if err := c.cluster.WriteKey(id, k, core.Value(v), c.opts.opTimeout); err != nil {
+		return fmt.Errorf("churnreg: live write %v at %v: %w", k, id, err)
 	}
 	return nil
 }
 
-// ReadAt reads via a specific process.
+// ReadAt reads register 0 via a specific process.
 func (c *LiveCluster) ReadAt(id ProcessID) (int64, error) {
-	v, err := c.cluster.Read(id, c.opts.opTimeout)
+	return c.ReadKeyAt(id, core.DefaultRegister)
+}
+
+// ReadKeyAt reads one register via a specific process.
+func (c *LiveCluster) ReadKeyAt(id ProcessID, k RegisterID) (int64, error) {
+	v, err := c.cluster.ReadKey(id, k, c.opts.opTimeout)
 	if err != nil {
-		return 0, fmt.Errorf("churnreg: live read at %v: %w", id, err)
+		return 0, fmt.Errorf("churnreg: live read %v at %v: %w", k, id, err)
 	}
 	if v.IsBottom() {
 		return 0, ErrValueUnavailable
@@ -123,20 +141,25 @@ func (c *LiveCluster) ReadAt(id ProcessID) (int64, error) {
 	return int64(v.Val), nil
 }
 
-// Read reads via any present process (first listed).
+// Read reads register 0 via any present process (first listed).
 func (c *LiveCluster) Read() (int64, error) {
+	return c.ReadKey(core.DefaultRegister)
+}
+
+// ReadKey reads one register via any present process, preferring a
+// process that is not the writer, mirroring how a client would
+// load-balance reads.
+func (c *LiveCluster) ReadKey(k RegisterID) (int64, error) {
 	ids := c.cluster.IDs()
 	if len(ids) == 0 {
 		return 0, ErrNoActiveProcess
 	}
-	// Prefer a process that is not the writer, mirroring how a client
-	// would load-balance reads.
 	for _, id := range ids {
 		if id != c.writer {
-			if v, err := c.ReadAt(id); err == nil {
+			if v, err := c.ReadKeyAt(id, k); err == nil {
 				return v, nil
 			}
 		}
 	}
-	return c.ReadAt(c.writer)
+	return c.ReadKeyAt(c.writer, k)
 }

@@ -2,6 +2,7 @@ package churnreg
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"churnreg/internal/core"
@@ -10,10 +11,11 @@ import (
 	"churnreg/internal/spec"
 )
 
-// SimCluster is a deterministic simulated dynamic system hosting one
-// regular register. All methods drive the simulation forward as needed;
-// between calls, virtual time stands still. Not safe for concurrent use
-// (the simulation is single-threaded by design).
+// SimCluster is a deterministic simulated dynamic system hosting a keyed
+// namespace of regular registers over one membership substrate. All
+// methods drive the simulation forward as needed; between calls, virtual
+// time stands still. Not safe for concurrent use (the simulation is
+// single-threaded by design).
 type SimCluster struct {
 	opts    options
 	sys     *dynsys.System
@@ -54,12 +56,16 @@ func NewSimCluster(opt ...Option) (*SimCluster, error) {
 		MinLifetime: sim.Duration(o.minLifetime),
 		Protect:     func(id core.ProcessID) bool { return id == c.writer || c.shielded[id] },
 		Initial:     core.VersionedValue{Val: core.Value(o.initial), SN: 0},
+		Initials:    o.initialKeys,
 	})
 	if err != nil {
 		return nil, err
 	}
 	c.sys = sys
 	c.history = spec.NewHistory(core.VersionedValue{Val: core.Value(o.initial), SN: 0})
+	for _, kv := range o.initialKeys {
+		c.history.SetInitialKey(kv.Reg, kv.Value)
+	}
 	return c, nil
 }
 
@@ -105,80 +111,145 @@ func (c *SimCluster) Join() (ProcessID, error) {
 // Leave makes the process leave the system immediately and forever.
 func (c *SimCluster) Leave(id ProcessID) { c.sys.KillProcess(id) }
 
-// Write stores v in the register via an active process (a stable
-// designated writer when available) and runs the simulation until the
-// write returns ok. Writes from a SimCluster are sequential by
-// construction, matching the paper's one-writer-at-a-time discipline.
+// Write stores v in register 0 — sugar for WriteKey(DefaultRegister, v).
 func (c *SimCluster) Write(v int64) error {
+	return c.WriteKey(core.DefaultRegister, v)
+}
+
+// WriteKey stores v in one register of the namespace via an active
+// process (a stable designated writer when available) and runs the
+// simulation until the write returns ok. Writes from a SimCluster are
+// sequential by construction, matching the paper's one-writer-at-a-time
+// discipline (which the keyed protocols require only per key).
+func (c *SimCluster) WriteKey(k RegisterID, v int64) error {
 	id, err := c.pickWriter()
 	if err != nil {
 		return err
 	}
 	node := c.sys.Node(id)
-	w, ok := node.(core.Writer)
+	w, ok := node.(core.KeyedWriter)
 	if !ok {
 		return fmt.Errorf("churnreg: protocol %v cannot write", c.opts.protocol)
 	}
-	op := c.history.BeginWrite(id, c.sys.Now())
+	op := c.history.BeginWriteKey(id, k, c.sys.Now())
 	done := false
-	if err := w.Write(core.Value(v), func() {
-		c.history.CompleteWrite(op, c.sys.Now(), node.Snapshot())
+	if err := w.WriteKey(k, core.Value(v), func() {
+		c.history.CompleteWrite(op, c.sys.Now(), core.SnapshotKey(node, k))
 		done = true
 	}); err != nil {
 		c.history.Abandon(op)
-		return fmt.Errorf("churnreg: write: %w", err)
+		return fmt.Errorf("churnreg: write %v: %w", k, err)
 	}
 	if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
 		c.history.Abandon(op)
-		return fmt.Errorf("churnreg: write: %w", err)
+		return fmt.Errorf("churnreg: write %v: %w", k, err)
 	}
 	return nil
 }
 
-// Read returns the register's value as seen by a random active process,
+// WriteBatch stores several keys' values with ONE broadcast and one δ
+// wait (synchronous protocol only — quorum protocols return an error).
+// The batch is recorded as one write per key.
+func (c *SimCluster) WriteBatch(kvs map[RegisterID]int64) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	id, err := c.pickWriter()
+	if err != nil {
+		return err
+	}
+	node := c.sys.Node(id)
+	bw, ok := node.(core.BatchWriter)
+	if !ok {
+		return fmt.Errorf("churnreg: protocol %v cannot batch-write", c.opts.protocol)
+	}
+	ks := make([]RegisterID, 0, len(kvs))
+	for k := range kvs {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	entries := make([]core.KeyedWrite, len(ks))
+	ops := make([]*spec.Op, len(ks))
+	for i, k := range ks {
+		entries[i] = core.KeyedWrite{Reg: k, Val: core.Value(kvs[k])}
+		ops[i] = c.history.BeginWriteKey(id, k, c.sys.Now())
+	}
+	done := false
+	if err := bw.WriteBatch(entries, func() {
+		for i, k := range ks {
+			c.history.CompleteWrite(ops[i], c.sys.Now(), core.SnapshotKey(node, k))
+		}
+		done = true
+	}); err != nil {
+		for _, op := range ops {
+			c.history.Abandon(op)
+		}
+		return fmt.Errorf("churnreg: write batch: %w", err)
+	}
+	if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
+		for _, op := range ops {
+			c.history.Abandon(op)
+		}
+		return fmt.Errorf("churnreg: write batch: %w", err)
+	}
+	return nil
+}
+
+// Read returns register 0's value as seen by a random active process,
 // running the simulation until the read returns.
 func (c *SimCluster) Read() (int64, error) {
+	return c.ReadKey(core.DefaultRegister)
+}
+
+// ReadKey returns one register's value as seen by a random active
+// process.
+func (c *SimCluster) ReadKey(k RegisterID) (int64, error) {
 	id, ok := c.sys.RandomActive()
 	if !ok {
 		return 0, ErrNoActiveProcess
 	}
-	return c.ReadAt(id)
+	return c.ReadKeyAt(id, k)
 }
 
-// ReadAt reads via a specific active process.
+// ReadAt reads register 0 via a specific active process.
 func (c *SimCluster) ReadAt(id ProcessID) (int64, error) {
+	return c.ReadKeyAt(id, core.DefaultRegister)
+}
+
+// ReadKeyAt reads one register via a specific active process.
+func (c *SimCluster) ReadKeyAt(id ProcessID, k RegisterID) (int64, error) {
 	node := c.sys.Node(id)
 	if node == nil {
 		return 0, fmt.Errorf("churnreg: %v: %w", id, ErrNoActiveProcess)
 	}
-	op := c.history.BeginRead(id, c.sys.Now())
+	op := c.history.BeginReadKey(id, k, c.sys.Now())
 	switch n := node.(type) {
-	case core.LocalReader:
-		v, err := n.ReadLocal()
+	case core.KeyedLocalReader:
+		v, err := n.ReadLocalKey(k)
 		if err != nil {
 			c.history.Abandon(op)
-			return 0, fmt.Errorf("churnreg: read: %w", err)
+			return 0, fmt.Errorf("churnreg: read %v: %w", k, err)
 		}
 		c.history.CompleteRead(op, c.sys.Now(), v)
 		return int64(v.Val), nil
-	case core.Reader:
+	case core.KeyedReader:
 		// Shield the reader while the cluster blocks on its quorum read
 		// (the paper's liveness assumes the invoker does not leave).
 		c.shielded[id] = true
 		defer delete(c.shielded, id)
 		var got core.VersionedValue
 		done := false
-		if err := n.Read(func(v core.VersionedValue) {
+		if err := n.ReadKey(k, func(v core.VersionedValue) {
 			got = v
 			c.history.CompleteRead(op, c.sys.Now(), v)
 			done = true
 		}); err != nil {
 			c.history.Abandon(op)
-			return 0, fmt.Errorf("churnreg: read: %w", err)
+			return 0, fmt.Errorf("churnreg: read %v: %w", k, err)
 		}
 		if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
 			c.history.Abandon(op)
-			return 0, fmt.Errorf("churnreg: read: %w", err)
+			return 0, fmt.Errorf("churnreg: read %v: %w", k, err)
 		}
 		if got.IsBottom() {
 			return 0, ErrValueUnavailable
@@ -231,6 +302,9 @@ type CheckReport struct {
 	Reads, Writes int
 	// RegularViolations lists reads no regular register could return.
 	RegularViolations []string
+	// ViolationsByKey attributes each regularity violation to the
+	// register it occurred on (nil when there are none).
+	ViolationsByKey map[RegisterID]int
 	// Inversions counts new/old inversions — legal for a regular
 	// register, but the reason this register is not atomic.
 	Inversions int
@@ -261,6 +335,10 @@ func (c *SimCluster) Check() CheckReport {
 	}
 	for _, v := range c.history.CheckRegular() {
 		rep.RegularViolations = append(rep.RegularViolations, v.String())
+		if rep.ViolationsByKey == nil {
+			rep.ViolationsByKey = make(map[RegisterID]int)
+		}
+		rep.ViolationsByKey[v.Reg]++
 	}
 	return rep
 }
