@@ -1,0 +1,428 @@
+// Command regserve hosts ONE process of a register protocol as an OS
+// daemon speaking real TCP: the deployable form of the paper's system.
+// Each regserve is one p_i; a cluster is several regserve processes (on
+// one machine or many) whose -peers flags point at each other. A fresh
+// daemon with no -bootstrap flag enters the system exactly as the paper
+// prescribes: it dials its seeds, discovers the membership, and runs the
+// protocol's join operation — it serves no operation until the join
+// returns.
+//
+// Start a three-process synchronous cluster:
+//
+//	regserve -id 1 -bootstrap -listen 127.0.0.1:7001 -api 127.0.0.1:8001 -n 3
+//	regserve -id 2 -bootstrap -listen 127.0.0.1:7002 -api 127.0.0.1:8002 -n 3 -peers 127.0.0.1:7001
+//	regserve -id 3 -bootstrap -listen 127.0.0.1:7003 -api 127.0.0.1:8003 -n 3 -peers 127.0.0.1:7001,127.0.0.1:7002
+//
+// then talk to any node's HTTP API:
+//
+//	curl -X POST 'localhost:8001/write?key=0&val=42'
+//	curl 'localhost:8002/read?key=0'
+//	curl -X POST 'localhost:8001/writebatch?b=1=10,2=20,3=30'
+//	curl 'localhost:8003/health'
+//
+// and grow the system under churn:
+//
+//	regserve -id 4 -listen 127.0.0.1:7004 -api 127.0.0.1:8004 -n 3 -peers 127.0.0.1:7001
+//	curl -X POST 'localhost:8002/leave'    # graceful departure
+//
+// The write discipline is the paper's: callers must not issue concurrent
+// writes to the same key (one writing client per key, or coordination
+// above the API — or -protocol multiwriter, which serializes writers with
+// the §7 token).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"churnreg/internal/abd"
+	"churnreg/internal/core"
+	"churnreg/internal/esyncreg"
+	"churnreg/internal/multiwriter"
+	"churnreg/internal/nettransport"
+	"churnreg/internal/nodeops"
+	"churnreg/internal/sim"
+	"churnreg/internal/syncreg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "regserve:", err)
+		os.Exit(1)
+	}
+}
+
+// serverConfig is the parsed command line.
+type serverConfig struct {
+	id        int64
+	listen    string
+	api       string
+	protocol  string
+	n         int
+	delta     int64
+	tick      time.Duration
+	bootstrap bool
+	initial   int64
+	peers     []string
+	opTimeout time.Duration
+	verbose   bool
+}
+
+func parseFlags(args []string, errW io.Writer) (*serverConfig, error) {
+	fs := flag.NewFlagSet("regserve", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	var (
+		id        = fs.Int64("id", 0, "unique process id (> 0; never reuse an id)")
+		listen    = fs.String("listen", "127.0.0.1:0", "TCP address for protocol traffic")
+		api       = fs.String("api", "127.0.0.1:0", "HTTP address for the client API")
+		protocol  = fs.String("protocol", "sync", "protocol: sync, esync, abd, or multiwriter")
+		n         = fs.Int("n", 3, "constant system size n known to every process")
+		delta     = fs.Int64("delta", 50, "communication bound δ (ticks)")
+		tick      = fs.Duration("tick", time.Millisecond, "real duration of one tick (δ×tick must exceed network+scheduler slop)")
+		bootstrap = fs.Bool("bootstrap", false, "one of the n initial processes (active at once, holds the initial value)")
+		initial   = fs.Int64("initial", 0, "register 0's initial value (bootstrap only)")
+		peers     = fs.String("peers", "", "comma-separated seed addresses to dial")
+		opTimeout = fs.Duration("op-timeout", 10*time.Second, "client API operation deadline")
+		verbose   = fs.Bool("v", false, "log transport events to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *id <= 0 {
+		return nil, fmt.Errorf("-id must be > 0 (got %d): ids identify processes for the whole system lifetime", *id)
+	}
+	if *n <= 0 {
+		return nil, fmt.Errorf("-n must be > 0 (got %d)", *n)
+	}
+	if *delta < 1 {
+		return nil, fmt.Errorf("-delta must be >= 1 (got %d)", *delta)
+	}
+	cfg := &serverConfig{
+		id: *id, listen: *listen, api: *api, protocol: *protocol,
+		n: *n, delta: *delta, tick: *tick, bootstrap: *bootstrap,
+		initial: *initial, opTimeout: *opTimeout, verbose: *verbose,
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.peers = append(cfg.peers, p)
+		}
+	}
+	if _, err := factoryFor(cfg.protocol); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func factoryFor(protocol string) (core.NodeFactory, error) {
+	switch protocol {
+	case "sync":
+		return syncreg.Factory(syncreg.Options{}), nil
+	case "esync":
+		return esyncreg.Factory(esyncreg.Options{}), nil
+	case "abd":
+		return abd.Factory(), nil
+	case "multiwriter":
+		return multiwriter.Factory(), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want sync, esync, abd, or multiwriter)", protocol)
+	}
+}
+
+func run(args []string, out, errW io.Writer) error {
+	cfg, err := parseFlags(args, errW)
+	if err != nil {
+		return err
+	}
+	factory, err := factoryFor(cfg.protocol)
+	if err != nil {
+		return err
+	}
+	logf := func(string, ...any) {}
+	if cfg.verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(errW, format+"\n", a...) }
+	}
+	tr, err := nettransport.New(nettransport.Config{
+		ID:         core.ProcessID(cfg.id),
+		ListenAddr: cfg.listen,
+		N:          cfg.n,
+		Delta:      sim.Duration(cfg.delta),
+		Tick:       cfg.tick,
+		Factory:    factory,
+		Bootstrap:  cfg.bootstrap,
+		Initial:    core.VersionedValue{Val: core.Value(cfg.initial), SN: 0},
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	apiLn, err := net.Listen("tcp", cfg.api)
+	if err != nil {
+		tr.Close()
+		return fmt.Errorf("api listen %s: %w", cfg.api, err)
+	}
+
+	// The one parseable line scripts and the e2e suite wait for: the
+	// actually-bound addresses (the flags may have asked for :0).
+	fmt.Fprintf(out, "REGSERVE id=%d listen=%s api=%s protocol=%s bootstrap=%v\n",
+		cfg.id, tr.Addr(), apiLn.Addr(), cfg.protocol, cfg.bootstrap)
+
+	tr.Start(cfg.peers)
+
+	leavec := make(chan struct{}, 1)
+	srv := &http.Server{Handler: newAPI(cfg, tr, leavec)}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.Serve(apiLn) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(errW, "regserve %d: %v, leaving gracefully\n", cfg.id, sig)
+	case <-leavec:
+		fmt.Fprintf(errW, "regserve %d: leave requested via API\n", cfg.id)
+	case err := <-httpDone:
+		tr.Close()
+		return fmt.Errorf("http server: %w", err)
+	}
+	tr.Leave()
+	srv.Close()
+	return nil
+}
+
+// api serves the client operations over HTTP.
+type api struct {
+	cfg    *serverConfig
+	tr     *nettransport.Transport
+	leavec chan<- struct{}
+}
+
+func newAPI(cfg *serverConfig, tr *nettransport.Transport, leavec chan<- struct{}) http.Handler {
+	a := &api{cfg: cfg, tr: tr, leavec: leavec}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", a.health)
+	mux.HandleFunc("GET /read", a.read)
+	mux.HandleFunc("POST /write", a.write)
+	mux.HandleFunc("POST /writebatch", a.writeBatch)
+	mux.HandleFunc("POST /leave", a.leave)
+	return mux
+}
+
+func (a *api) reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// replyErr maps operation errors onto HTTP statuses: not-yet-joined and
+// per-key op-in-progress are client-visible protocol states, a deadline
+// miss is an upstream timeout.
+func (a *api) replyErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrNotActive):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrOpInProgress):
+		status = http.StatusConflict
+	case errors.Is(err, nodeops.ErrTimeout):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, multiwriter.ErrNotHolder):
+		status = http.StatusServiceUnavailable
+	}
+	a.reply(w, status, map[string]string{"error": err.Error()})
+}
+
+func (a *api) health(w http.ResponseWriter, r *http.Request) {
+	a.reply(w, http.StatusOK, map[string]any{
+		"id":       a.cfg.id,
+		"protocol": a.cfg.protocol,
+		"active":   a.tr.Active(),
+		"peers":    a.tr.PeerCount(),
+		"addr":     a.tr.Addr(),
+	})
+}
+
+func (a *api) read(w http.ResponseWriter, r *http.Request) {
+	key, err := keyParam(r)
+	if err != nil {
+		a.reply(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	v, err := a.tr.ReadKey(key, a.cfg.opTimeout)
+	if err != nil {
+		a.replyErr(w, err)
+		return
+	}
+	a.reply(w, http.StatusOK, map[string]any{"key": int64(key), "val": int64(v.Val), "sn": int64(v.SN)})
+}
+
+func (a *api) write(w http.ResponseWriter, r *http.Request) {
+	key, err := keyParam(r)
+	if err != nil {
+		a.reply(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	val, err := strconv.ParseInt(r.URL.Query().Get("val"), 10, 64)
+	if err != nil {
+		a.reply(w, http.StatusBadRequest, map[string]string{"error": "val must be an integer"})
+		return
+	}
+	if err := a.ensureToken(); err != nil {
+		a.replyErr(w, err)
+		return
+	}
+	if err := a.tr.WriteKey(key, core.Value(val), a.cfg.opTimeout); err != nil {
+		a.replyErr(w, err)
+		return
+	}
+	// Report the sequence number the protocol assigned: this node is the
+	// key's writer, so its local copy right after the write IS the written
+	// version (clients with one writer per key use it to correlate reads
+	// with writes).
+	sn := int64(-1)
+	if v, err := a.tr.SnapshotKey(key, a.cfg.opTimeout); err == nil {
+		sn = int64(v.SN)
+	}
+	a.reply(w, http.StatusOK, map[string]any{"ok": true, "key": int64(key), "val": val, "sn": sn})
+}
+
+func (a *api) writeBatch(w http.ResponseWriter, r *http.Request) {
+	entries, err := parseBatch(r.URL.Query().Get("b"))
+	if err != nil {
+		a.reply(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := a.ensureToken(); err != nil {
+		a.replyErr(w, err)
+		return
+	}
+	if err := a.tr.WriteBatch(entries, a.cfg.opTimeout); err != nil {
+		a.replyErr(w, err)
+		return
+	}
+	sns := make(map[string]int64, len(entries))
+	for _, e := range entries {
+		if v, err := a.tr.SnapshotKey(e.Reg, a.cfg.opTimeout); err == nil {
+			sns[strconv.FormatInt(int64(e.Reg), 10)] = int64(v.SN)
+		}
+	}
+	a.reply(w, http.StatusOK, map[string]any{"ok": true, "keys": len(entries), "sns": sns})
+}
+
+func (a *api) leave(w http.ResponseWriter, r *http.Request) {
+	a.reply(w, http.StatusOK, map[string]any{"ok": true, "leaving": true})
+	select {
+	case a.leavec <- struct{}{}:
+	default:
+	}
+}
+
+// ensureToken acquires the §7 write token when the hosted protocol is the
+// multi-writer one (other protocols write token-free). Contention is
+// resolved by retrying the claim until the deadline.
+func (a *api) ensureToken() error {
+	if a.cfg.protocol != "multiwriter" {
+		return nil
+	}
+	deadline := time.Now().Add(a.cfg.opTimeout)
+	for {
+		won := make(chan bool, 1)
+		errc := make(chan error, 1)
+		err := a.tr.Invoke(func(n core.Node) {
+			mw, ok := n.(*multiwriter.Node)
+			if !ok {
+				errc <- fmt.Errorf("node %T is not a multiwriter", n)
+				return
+			}
+			if mw.Holder() {
+				won <- true
+				return
+			}
+			if err := mw.Acquire(func(ok bool) { won <- ok }); err != nil {
+				errc <- err
+			}
+		})
+		if err != nil {
+			return err
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case ok := <-won:
+			timer.Stop()
+			if ok {
+				return nil
+			}
+			// Lost the claim (another holder is alive); back off a beat
+			// and retry until the deadline.
+			time.Sleep(50 * time.Millisecond)
+		case err := <-errc:
+			timer.Stop()
+			if errors.Is(err, core.ErrOpInProgress) {
+				time.Sleep(50 * time.Millisecond)
+			} else {
+				return err
+			}
+		case <-timer.C:
+			return nodeops.ErrTimeout
+		}
+		if time.Now().After(deadline) {
+			return nodeops.ErrTimeout
+		}
+	}
+}
+
+func keyParam(r *http.Request) (core.RegisterID, error) {
+	q := r.URL.Query().Get("key")
+	if q == "" {
+		return core.DefaultRegister, nil
+	}
+	k, err := strconv.ParseInt(q, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("key must be an integer")
+	}
+	return core.RegisterID(k), nil
+}
+
+// parseBatch parses "k1=v1,k2=v2" into sorted, deduplicated batch entries.
+func parseBatch(s string) ([]core.KeyedWrite, error) {
+	if s == "" {
+		return nil, fmt.Errorf("writebatch needs b=k1=v1,k2=v2,...")
+	}
+	seen := make(map[core.RegisterID]bool)
+	var entries []core.KeyedWrite
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad batch entry %q (want key=val)", pair)
+		}
+		key, err := strconv.ParseInt(strings.TrimSpace(k), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad batch key %q", k)
+		}
+		val, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad batch value %q", v)
+		}
+		reg := core.RegisterID(key)
+		if seen[reg] {
+			return nil, fmt.Errorf("batch names key %d twice", key)
+		}
+		seen[reg] = true
+		entries = append(entries, core.KeyedWrite{Reg: reg, Val: core.Value(val)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Reg < entries[j].Reg })
+	return entries, nil
+}

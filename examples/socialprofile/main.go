@@ -12,9 +12,15 @@
 // runs on real goroutines and channels (LiveCluster), not the simulator.
 //
 // Run with: go run ./examples/socialprofile
+//
+// Pass -transport tcp to run the identical scenario over real TCP
+// sockets (NetCluster): every peer owns a loopback listener and the
+// profile updates travel through the internal/wire binary codec instead
+// of Go channels.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +28,18 @@ import (
 
 	"churnreg"
 )
+
+// cluster is the slice of the LiveCluster/NetCluster API this example
+// drives — the two are interchangeable here by construction.
+type cluster interface {
+	WriteKey(k churnreg.RegisterID, v int64) error
+	ReadKeyAt(id churnreg.ProcessID, k churnreg.RegisterID) (int64, error)
+	Join() (churnreg.ProcessID, error)
+	Leave(id churnreg.ProcessID) error
+	IDs() []churnreg.ProcessID
+	Size() int
+	Close()
+}
 
 // Profile fields: one register per field. Field keys are just small
 // integers here; a production deployment would hash/intern field names.
@@ -58,19 +76,31 @@ var (
 )
 
 func main() {
-	cluster, err := churnreg.NewLiveCluster(
+	transport := flag.String("transport", "live", "runtime: live (goroutines+channels) or tcp (real sockets)")
+	flag.Parse()
+	opts := []churnreg.Option{
 		churnreg.WithN(7),
 		churnreg.WithDelta(25), // 25ms δ budget: real timers have slop
 		churnreg.WithTick(time.Millisecond),
 		churnreg.WithProtocol(churnreg.EventuallySynchronous),
-		churnreg.WithOperationTimeout(10*time.Second),
-	)
+		churnreg.WithOperationTimeout(10 * time.Second),
+	}
+	var cluster cluster
+	var err error
+	switch *transport {
+	case "live":
+		cluster, err = churnreg.NewLiveCluster(opts...)
+	case "tcp":
+		cluster, err = churnreg.NewNetCluster(opts...)
+	default:
+		log.Fatalf("unknown -transport %q (want live or tcp)", *transport)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
 
-	fmt.Println("7 peers online, replicating @gopher's profile — one register per field")
+	fmt.Printf("7 peers online (%s transport), replicating @gopher's profile — one register per field\n", *transport)
 
 	rng := rand.New(rand.NewSource(7))
 	for round := range statuses {

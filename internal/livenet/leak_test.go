@@ -1,0 +1,60 @@
+package livenet_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"churnreg/internal/esyncreg"
+	"churnreg/internal/livenet"
+)
+
+// TestCloseLeavesNoGoroutines drives a cluster through operations, a
+// spawn, a kill, and a timed-out wait, then closes it and requires the
+// goroutine count to return to baseline — the shutdown-review companion
+// to nettransport's chaos leak checks. Operation waits use stoppable
+// timers (internal/nodeops), so even the timed-out path leaves nothing
+// behind beyond timers that fire and find the cluster gone.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	c, err := livenet.New(cfg(esyncreg.Factory(esyncreg.Options{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := c.IDs()
+	if err := c.WriteKey(ids[0], 3, 9, opTimeout); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := c.ReadKey(ids[1], 3, opTimeout); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	id, err := c.Spawn()
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if err := c.WaitActive(id, opTimeout); err != nil {
+		t.Fatalf("wait active: %v", err)
+	}
+	if err := c.Kill(ids[2]); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// A wait that times out must not leave its poll loop behind.
+	if err := c.WaitActive(id, time.Millisecond); err != nil && err != livenet.ErrTimeout {
+		t.Fatalf("short wait: %v", err)
+	}
+	c.Close()
+	c.Close() // idempotent
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak after Close: %d goroutines, baseline %d\n%s",
+		runtime.NumGoroutine(), base, buf)
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"churnreg/internal/core"
+	"churnreg/internal/nodeops"
 	"churnreg/internal/sim"
 )
 
@@ -41,7 +42,9 @@ var ErrClosed = errors.New("livenet: cluster closed")
 var ErrAbsent = errors.New("livenet: process not in the system")
 
 // ErrTimeout is returned when an operation misses its real-time deadline.
-var ErrTimeout = errors.New("livenet: operation timed out")
+// It aliases the shared nodeops sentinel so callers can compare against
+// either package's name.
+var ErrTimeout = nodeops.ErrTimeout
 
 // Config assembles a live cluster.
 type Config struct {
@@ -199,28 +202,15 @@ func (c *Cluster) Invoke(id core.ProcessID, fn func(core.Node)) error {
 	return nil
 }
 
+// invoker adapts one process's Invoke to the nodeops contract.
+func (c *Cluster) invoker(id core.ProcessID) nodeops.Invoke {
+	return func(fn func(core.Node)) error { return c.Invoke(id, fn) }
+}
+
 // WaitActive blocks until the process's join has returned, polling on its
 // loop goroutine, or until timeout.
 func (c *Cluster) WaitActive(id core.ProcessID, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		done := make(chan bool, 1)
-		if err := c.Invoke(id, func(n core.Node) { done <- n.Active() }); err != nil {
-			return err
-		}
-		select {
-		case active := <-done:
-			if active {
-				return nil
-			}
-		case <-time.After(timeout):
-			return ErrTimeout
-		}
-		if time.Now().After(deadline) {
-			return ErrTimeout
-		}
-		time.Sleep(c.cfg.Tick)
-	}
+	return nodeops.WaitActive(c.invoker(id), c.cfg.Tick, timeout)
 }
 
 // Read runs a read of register 0 on the process and waits for its result.
@@ -231,55 +221,7 @@ func (c *Cluster) Read(id core.ProcessID, timeout time.Duration) (core.Versioned
 // ReadKey runs a read of one register on the process and waits for its
 // result, routing to the protocol's local or quorum read as available.
 func (c *Cluster) ReadKey(id core.ProcessID, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
-	res := make(chan core.VersionedValue, 1)
-	errc := make(chan error, 1)
-	err := c.Invoke(id, func(n core.Node) {
-		switch r := n.(type) {
-		case core.KeyedLocalReader:
-			v, err := r.ReadLocalKey(reg)
-			if err != nil {
-				errc <- err
-				return
-			}
-			res <- v
-		case core.KeyedReader:
-			if err := r.ReadKey(reg, func(v core.VersionedValue) { res <- v }); err != nil {
-				errc <- err
-			}
-		case core.LocalReader:
-			if reg != core.DefaultRegister {
-				errc <- fmt.Errorf("livenet: node %T cannot read %v", n, reg)
-				return
-			}
-			v, err := r.ReadLocal()
-			if err != nil {
-				errc <- err
-				return
-			}
-			res <- v
-		case core.Reader:
-			if reg != core.DefaultRegister {
-				errc <- fmt.Errorf("livenet: node %T cannot read %v", n, reg)
-				return
-			}
-			if err := r.Read(func(v core.VersionedValue) { res <- v }); err != nil {
-				errc <- err
-			}
-		default:
-			errc <- fmt.Errorf("livenet: node %T cannot read", n)
-		}
-	})
-	if err != nil {
-		return core.Bottom(), err
-	}
-	select {
-	case v := <-res:
-		return v, nil
-	case err := <-errc:
-		return core.Bottom(), err
-	case <-time.After(timeout):
-		return core.Bottom(), ErrTimeout
-	}
+	return nodeops.ReadKey(c.invoker(id), reg, timeout)
 }
 
 // Write runs a write of register 0 on the process and waits for it to
@@ -291,37 +233,14 @@ func (c *Cluster) Write(id core.ProcessID, v core.Value, timeout time.Duration) 
 // WriteKey runs a write of one register on the process and waits for it
 // to return ok.
 func (c *Cluster) WriteKey(id core.ProcessID, reg core.RegisterID, v core.Value, timeout time.Duration) error {
-	done := make(chan struct{}, 1)
-	errc := make(chan error, 1)
-	err := c.Invoke(id, func(n core.Node) {
-		switch w := n.(type) {
-		case core.KeyedWriter:
-			if err := w.WriteKey(reg, v, func() { done <- struct{}{} }); err != nil {
-				errc <- err
-			}
-		case core.Writer:
-			if reg != core.DefaultRegister {
-				errc <- fmt.Errorf("livenet: node %T cannot write %v", n, reg)
-				return
-			}
-			if err := w.Write(v, func() { done <- struct{}{} }); err != nil {
-				errc <- err
-			}
-		default:
-			errc <- fmt.Errorf("livenet: node %T cannot write", n)
-		}
-	})
-	if err != nil {
-		return err
-	}
-	select {
-	case <-done:
-		return nil
-	case err := <-errc:
-		return err
-	case <-time.After(timeout):
-		return ErrTimeout
-	}
+	return nodeops.WriteKey(c.invoker(id), reg, v, timeout)
+}
+
+// WriteBatch stores several keys' values via one process and waits for all
+// of them: one broadcast for core.BatchWriter protocols, concurrent
+// per-key writes otherwise. Entries must be sorted by Reg, no duplicates.
+func (c *Cluster) WriteBatch(id core.ProcessID, entries []core.KeyedWrite, timeout time.Duration) error {
+	return nodeops.WriteBatch(c.invoker(id), entries, timeout)
 }
 
 // Snapshot returns the node's local register-0 copy (scheduled on its loop).
@@ -331,26 +250,7 @@ func (c *Cluster) Snapshot(id core.ProcessID, timeout time.Duration) (core.Versi
 
 // SnapshotKey returns the node's local copy of one register.
 func (c *Cluster) SnapshotKey(id core.ProcessID, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
-	res := make(chan core.VersionedValue, 1)
-	if err := c.Invoke(id, func(n core.Node) {
-		if s, ok := n.(core.KeyedSnapshotter); ok {
-			res <- s.SnapshotKey(reg)
-			return
-		}
-		if reg == core.DefaultRegister {
-			res <- n.Snapshot()
-			return
-		}
-		res <- core.Bottom()
-	}); err != nil {
-		return core.Bottom(), err
-	}
-	select {
-	case v := <-res:
-		return v, nil
-	case <-time.After(timeout):
-		return core.Bottom(), ErrTimeout
-	}
+	return nodeops.SnapshotKey(c.invoker(id), reg, timeout)
 }
 
 // deliver schedules m's arrival at dest after delay ticks of real time.

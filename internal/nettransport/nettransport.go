@@ -1,0 +1,931 @@
+// Package nettransport runs one register-protocol process over real TCP.
+// It implements the same core.Env contract as internal/livenet and the
+// deterministic simulator, so the protocol state machines of
+// internal/syncreg, internal/esyncreg, internal/abd and
+// internal/multiwriter run over actual sockets unmodified — this is the
+// transport behind cmd/regserve and the public NetCluster.
+//
+// # Topology
+//
+// Every process listens on one TCP address and dials every peer it knows,
+// so a healthy system is a full mesh (two connections per pair — one
+// dialed by each side — which keeps connection ownership trivial: a
+// process only ever writes protocol traffic to connections it dialed).
+// The address book maps core.ProcessID to listen address and is built by
+// a handshake-plus-gossip scheme:
+//
+//   - The first frame on every dialed connection is HELLO(id, listenAddr).
+//   - The acceptor replies on the same connection with its own HELLO and a
+//     PEERS frame carrying its whole address book, then gossips the
+//     newcomer's entry to every peer it already knows.
+//   - Receivers of PEERS entries dial any process they did not yet know.
+//
+// A fresh process therefore joins by dialing any live subset of the
+// system ("seeds"): within a round-trip it knows — and is known by —
+// every reachable process, exactly the precondition the paper's join
+// protocol needs for its INQUIRY broadcast.
+//
+// # Reliability
+//
+// Each known peer has a dedicated outbound queue drained by a writer
+// goroutine that dials, redials with backoff, and re-sends HELLO after
+// every reconnect. Frames enqueued while the link is down wait in the
+// queue (bounded; overflow drops the oldest-queued frame and counts it —
+// the paper's channels are fair-lossy, and both protocols tolerate loss
+// of individual messages). The paper's broadcast primitive guarantees
+// delivery to every process present at the broadcast; for the one message
+// where late delivery changes correctness — a joiner's INQUIRY — the
+// transport replays the broadcast to peers learned while the join is
+// still in progress, so discovering the membership and inquiring over it
+// are not racy.
+//
+// # Concurrency
+//
+// Exactly livenet's discipline: the node's handlers run only on the
+// process's single mailbox goroutine; connection readers, timer callbacks
+// and client operations enqueue closures onto that mailbox. Everything
+// else (address book, connection set) is guarded by one mutex.
+package nettransport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"churnreg/internal/core"
+	"churnreg/internal/nodeops"
+	"churnreg/internal/sim"
+	"churnreg/internal/wire"
+)
+
+// ErrClosed is returned once the transport has been shut down.
+var ErrClosed = errors.New("nettransport: transport closed")
+
+// Config assembles one TCP-backed process.
+type Config struct {
+	// ID is this process's identity. The operator (or NetCluster) must
+	// keep IDs unique across the whole system's lifetime — the paper's
+	// infinite-arrival model never reuses one.
+	ID core.ProcessID
+	// ListenAddr is the TCP address to bind ("127.0.0.1:0" for an
+	// ephemeral port; Addr() reports the bound address).
+	ListenAddr string
+	// N is the constant system size every process knows.
+	N int
+	// Delta is δ in ticks.
+	Delta sim.Duration
+	// Tick is the real duration of one tick (default 1ms). δ×Tick must
+	// comfortably exceed network latency plus scheduling slop for the
+	// synchronous protocol.
+	Tick time.Duration
+	// Factory builds the protocol node.
+	Factory core.NodeFactory
+	// Bootstrap marks one of the n initial processes (active immediately,
+	// holding the initial values).
+	Bootstrap bool
+	// Initial is register 0's initial value (bootstrap only).
+	Initial core.VersionedValue
+	// InitialKeys optionally pre-provisions further registers (bootstrap
+	// only; ascending Reg order).
+	InitialKeys []core.KeyedValue
+	// DialTimeout bounds one connection attempt (default 1s).
+	DialTimeout time.Duration
+	// HandshakeWait bounds how long Start waits for seed handshakes before
+	// starting the protocol anyway (default 2s; dead seeds are expected —
+	// a replacement process is often handed the address of the process it
+	// replaces).
+	HandshakeWait time.Duration
+	// QueueLen is the per-peer outbound queue capacity (default 512).
+	QueueLen int
+	// EvictAfter drops a peer whose dials have failed continuously for
+	// this long (default 15s). Graceful departures announce themselves
+	// with LEAVE, but that frame is best-effort (the leaver's links may
+	// be down at the moment of departure) and crashes announce nothing;
+	// under the paper's infinite-arrival model a departed process never
+	// returns under the same identity, so persistent unreachability IS
+	// departure — eviction keeps survivors from redialing dead addresses
+	// forever.
+	EvictAfter time.Duration
+	// Logf, when set, receives transport-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.ID == core.NoProcess {
+		return fmt.Errorf("nettransport: ID must be a real process id")
+	}
+	if c.N <= 0 {
+		return fmt.Errorf("nettransport: N = %d, want > 0", c.N)
+	}
+	if c.Delta < 1 {
+		return fmt.Errorf("nettransport: Delta = %d, want >= 1", c.Delta)
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("nettransport: nil factory")
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.HandshakeWait <= 0 {
+		c.HandshakeWait = 2 * time.Second
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 512
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 15 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Stats counts transport activity (read under no lock; all fields are
+// atomics).
+type Stats struct {
+	FramesSent     atomic.Uint64
+	FramesReceived atomic.Uint64
+	QueueDrops     atomic.Uint64 // frames dropped on a full peer queue
+	SendUnknown    atomic.Uint64 // sends to ids with no address-book entry
+	Reconnects     atomic.Uint64 // successful dials beyond a peer's first
+	DecodeErrors   atomic.Uint64
+}
+
+// Transport hosts one protocol process over TCP.
+type Transport struct {
+	cfg   Config
+	ln    net.Listener
+	start time.Time
+
+	node    core.Node
+	mailbox chan func()
+	quit    chan struct{}
+	stopped sync.Once
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	byAddr map[string]*peer
+	byID   map[core.ProcessID]*peer
+	conns  map[net.Conn]struct{}
+	closed bool
+	// pendingInquiry is the encoded join INQUIRY to replay to peers
+	// learned while this process's join is still running (see package
+	// comment); nil once active.
+	pendingInquiry []byte
+
+	active atomic.Bool
+	stats  Stats
+}
+
+var _ core.Env = (*Transport)(nil)
+
+// New binds the listener and builds the protocol node. The transport is
+// inert (no goroutines, no dialing) until Start.
+func New(cfg Config) (*Transport, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("nettransport: listen %s: %w", cfg.ListenAddr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Transport{
+		cfg:     cfg,
+		ln:      ln,
+		start:   time.Now(),
+		mailbox: make(chan func(), 512),
+		quit:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+		byAddr:  make(map[string]*peer),
+		byID:    make(map[core.ProcessID]*peer),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	t.node = cfg.Factory(t, core.SpawnContext{
+		Bootstrap:   cfg.Bootstrap,
+		Initial:     cfg.Initial,
+		InitialKeys: cfg.InitialKeys,
+	})
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Start launches the event loop and network goroutines, dials the seed
+// addresses, and starts the protocol node — for a non-bootstrap process
+// that begins its join, which is how a fresh OS process enters the
+// system. It returns immediately; use WaitActive to block until the join
+// completes.
+//
+// The protocol node is started only once the seeds' handshakes settle (or
+// the handshake window closes — dead seeds must not wedge a join
+// forever): a joiner's INQUIRY broadcast then reaches the full discovered
+// membership, and peers discovered even later get the replay described in
+// the package comment. The wait happens off the caller's goroutine
+// because bootstrap processes have nothing to wait for and joiners are
+// awaited through WaitActive anyway.
+func (t *Transport) Start(seeds []string) {
+	t.wg.Add(2)
+	go t.loop()
+	go t.acceptLoop()
+	n := 0
+	for _, addr := range seeds {
+		if addr == "" || addr == t.Addr() {
+			continue
+		}
+		t.mu.Lock()
+		t.ensurePeerLocked(core.NoProcess, addr)
+		t.mu.Unlock()
+		n++
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		if n > 0 {
+			t.awaitHandshakes(n)
+		}
+		t.enqueue(func() { t.node.Start() })
+	}()
+}
+
+// awaitHandshakes polls until want peers have announced their identity or
+// the handshake window closes.
+func (t *Transport) awaitHandshakes(want int) {
+	deadline := time.Now().Add(t.cfg.HandshakeWait)
+	for time.Now().Before(deadline) {
+		t.mu.Lock()
+		got := len(t.byID)
+		t.mu.Unlock()
+		if got >= want {
+			return
+		}
+		select {
+		case <-t.quit:
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	t.cfg.Logf("nettransport %v: handshake window closed with %d/%d seeds", t.cfg.ID, t.PeerCount(), want)
+}
+
+// Close shuts the process down abruptly: no LEAVE is sent, mirroring a
+// crash. Blocks until every transport goroutine exits.
+func (t *Transport) Close() {
+	t.stopped.Do(func() {
+		close(t.quit)
+		t.cancel()
+		t.mu.Lock()
+		t.closed = true
+		t.ln.Close()
+		for conn := range t.conns {
+			conn.Close()
+		}
+		for _, p := range t.byAddr {
+			p.stop()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+}
+
+// Leave departs gracefully: a LEAVE frame tells every peer to drop this
+// process from its address book (so nobody keeps redialing a gone
+// process), queues get a moment to flush, then the transport closes.
+func (t *Transport) Leave() {
+	payload, err := wire.EncodeFrame(wire.Frame{Type: wire.FrameLeave, From: t.cfg.ID})
+	if err == nil {
+		t.mu.Lock()
+		ps := t.peersLocked()
+		t.mu.Unlock()
+		for _, p := range ps {
+			p.send(t, payload)
+		}
+		// Bounded flush: wait for the queues to drain (writers re-check
+		// every frame) rather than a fixed sleep.
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			empty := true
+			t.mu.Lock()
+			for _, p := range t.byAddr {
+				if len(p.out) > 0 {
+					empty = false
+				}
+			}
+			t.mu.Unlock()
+			if empty {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		// One extra tick so flushed bytes clear the kernel buffers before
+		// the sockets are torn down.
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Close()
+}
+
+// DropConnections closes every open TCP connection without touching the
+// listener or the address book: readers exit, writers redial, queued
+// frames survive. This is the chaos hook the transport tests use to
+// exercise mid-operation reconnects.
+func (t *Transport) DropConnections() {
+	t.mu.Lock()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// PeerCount returns the number of identified peers in the address book.
+func (t *Transport) PeerCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}
+
+// Peers returns the identified address book (for health endpoints).
+func (t *Transport) Peers() []wire.Peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]wire.Peer, 0, len(t.byID))
+	for id, p := range t.byID {
+		out = append(out, wire.Peer{ID: id, Addr: p.addr})
+	}
+	return out
+}
+
+// Stats exposes the transport counters.
+func (t *Transport) Stats() *Stats { return &t.stats }
+
+// Active reports whether the hosted process completed its join (cheap:
+// backed by an atomic fed from MarkActive, not a loop round-trip).
+func (t *Transport) Active() bool { return t.active.Load() }
+
+// Invoke runs fn on the process's loop goroutine — the only legal way to
+// touch the node. It returns without waiting for fn to run.
+func (t *Transport) Invoke(fn func(core.Node)) error {
+	select {
+	case <-t.quit:
+		return ErrClosed
+	default:
+	}
+	select {
+	case t.mailbox <- func() { fn(t.node) }:
+		return nil
+	case <-t.quit:
+		return ErrClosed
+	}
+}
+
+func (t *Transport) invoker() nodeops.Invoke { return t.Invoke }
+
+// WaitActive blocks until the join has returned, or until timeout.
+func (t *Transport) WaitActive(timeout time.Duration) error {
+	return nodeops.WaitActive(t.invoker(), t.cfg.Tick, timeout)
+}
+
+// ReadKey runs a read of one register and waits for its result.
+func (t *Transport) ReadKey(reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
+	return nodeops.ReadKey(t.invoker(), reg, timeout)
+}
+
+// WriteKey runs a write of one register and waits for it to return ok.
+func (t *Transport) WriteKey(reg core.RegisterID, v core.Value, timeout time.Duration) error {
+	return nodeops.WriteKey(t.invoker(), reg, v, timeout)
+}
+
+// WriteBatch stores several keys' values and waits for all of them.
+func (t *Transport) WriteBatch(entries []core.KeyedWrite, timeout time.Duration) error {
+	return nodeops.WriteBatch(t.invoker(), entries, timeout)
+}
+
+// SnapshotKey returns the node's local copy of one register.
+func (t *Transport) SnapshotKey(reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
+	return nodeops.SnapshotKey(t.invoker(), reg, timeout)
+}
+
+// ---- core.Env ----
+
+// ID implements core.Env.
+func (t *Transport) ID() core.ProcessID { return t.cfg.ID }
+
+// Now implements core.Env: ticks elapsed since the transport was built.
+func (t *Transport) Now() sim.Time {
+	return sim.Time(time.Since(t.start) / t.cfg.Tick)
+}
+
+// Send implements core.Env: point-to-point, via the peer's outbound
+// queue. A send to self loops back through the mailbox after one tick —
+// the quorum protocols count their own replies, exactly as in the
+// simulator and livenet.
+func (t *Transport) Send(to core.ProcessID, m core.Message) {
+	select {
+	case <-t.quit:
+		return
+	default:
+	}
+	if to == t.cfg.ID {
+		time.AfterFunc(t.cfg.Tick, func() {
+			t.enqueue(func() { t.node.Deliver(to, m) })
+		})
+		return
+	}
+	payload, err := t.encodeMsg(m)
+	if err != nil {
+		t.cfg.Logf("nettransport %v: encode %v: %v", t.cfg.ID, m.Kind(), err)
+		return
+	}
+	t.mu.Lock()
+	p := t.byID[to]
+	t.mu.Unlock()
+	if p == nil {
+		t.stats.SendUnknown.Add(1)
+		return
+	}
+	p.send(t, payload)
+}
+
+// Broadcast implements core.Env: the frame goes to every process in the
+// address book, plus loopback to self after one tick (the simulator's and
+// livenet's contract). A join INQUIRY is additionally remembered for
+// replay to peers learned while the join is still running.
+func (t *Transport) Broadcast(m core.Message) {
+	select {
+	case <-t.quit:
+		return
+	default:
+	}
+	payload, err := t.encodeMsg(m)
+	if err != nil {
+		t.cfg.Logf("nettransport %v: encode %v: %v", t.cfg.ID, m.Kind(), err)
+		return
+	}
+	if inq, ok := m.(core.InquiryMsg); ok && inq.RSN == core.JoinReadSeq && !t.active.Load() {
+		t.mu.Lock()
+		t.pendingInquiry = payload
+		t.mu.Unlock()
+	}
+	self := m
+	time.AfterFunc(t.cfg.Tick, func() {
+		t.enqueue(func() { t.node.Deliver(t.cfg.ID, self) })
+	})
+	t.mu.Lock()
+	ps := t.peersLocked()
+	t.mu.Unlock()
+	for _, p := range ps {
+		p.send(t, payload)
+	}
+}
+
+// After implements core.Env: fn runs on the loop goroutine after d ticks,
+// suppressed once the process has shut down.
+func (t *Transport) After(d sim.Duration, fn func()) {
+	time.AfterFunc(time.Duration(d)*t.cfg.Tick, func() { t.enqueue(fn) })
+}
+
+// Delta implements core.Env.
+func (t *Transport) Delta() sim.Duration { return t.cfg.Delta }
+
+// SystemSize implements core.Env.
+func (t *Transport) SystemSize() int { return t.cfg.N }
+
+// MarkActive implements core.Env: records join completion for Health and
+// retires the pending-INQUIRY replay.
+func (t *Transport) MarkActive() {
+	t.active.Store(true)
+	t.mu.Lock()
+	t.pendingInquiry = nil
+	t.mu.Unlock()
+}
+
+// ---- internals ----
+
+func (t *Transport) encodeMsg(m core.Message) ([]byte, error) {
+	return wire.EncodeFrame(wire.Frame{Type: wire.FrameMsg, From: t.cfg.ID, Msg: m})
+}
+
+func (t *Transport) loop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case fn := <-t.mailbox:
+			fn()
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// enqueue posts fn to the loop, giving up if the process stops first.
+func (t *Transport) enqueue(fn func()) {
+	select {
+	case t.mailbox <- fn:
+	case <-t.quit:
+	}
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.quit:
+				return
+			default:
+			}
+			// Transient accept failure; back off briefly and retry.
+			select {
+			case <-time.After(10 * time.Millisecond):
+				continue
+			case <-t.quit:
+				return
+			}
+		}
+		if !t.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		t.wg.Add(1)
+		go t.readConn(conn, nil, true, nil)
+	}
+}
+
+// trackConn registers an open connection for shutdown/chaos teardown.
+func (t *Transport) trackConn(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *Transport) untrackConn(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+// peersLocked snapshots the outbound peers (t.mu held).
+func (t *Transport) peersLocked() []*peer {
+	out := make([]*peer, 0, len(t.byAddr))
+	for _, p := range t.byAddr {
+		out = append(out, p)
+	}
+	return out
+}
+
+// helloFrame is the first frame on every dialed connection.
+func (t *Transport) helloFrame() wire.Frame {
+	return wire.Frame{Type: wire.FrameHello, From: t.cfg.ID, Addr: t.Addr()}
+}
+
+// peersFrame snapshots the identified address book, including self.
+func (t *Transport) peersFrame() wire.Frame {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	peers := make([]wire.Peer, 0, len(t.byID)+1)
+	peers = append(peers, wire.Peer{ID: t.cfg.ID, Addr: t.Addr()})
+	for id, p := range t.byID {
+		peers = append(peers, wire.Peer{ID: id, Addr: p.addr})
+	}
+	return wire.Frame{Type: wire.FramePeers, Peers: peers}
+}
+
+// ensurePeerLocked returns the outbound peer for addr, creating (and
+// launching) it if absent. id may be NoProcess when unknown. t.mu held.
+func (t *Transport) ensurePeerLocked(id core.ProcessID, addr string) *peer {
+	if t.closed {
+		return nil
+	}
+	p, ok := t.byAddr[addr]
+	if !ok {
+		p = &peer{
+			addr: addr,
+			id:   id,
+			out:  make(chan []byte, t.cfg.QueueLen),
+			quit: make(chan struct{}),
+		}
+		t.byAddr[addr] = p
+		t.wg.Add(1)
+		go p.run(t)
+	}
+	if id != core.NoProcess && p.id == core.NoProcess {
+		p.id = id
+	}
+	if p.id != core.NoProcess {
+		t.byID[p.id] = p
+	}
+	return p
+}
+
+// learnPeer records that process id listens at addr, dialing it and
+// gossiping its existence if it is new. Safe from any goroutine.
+func (t *Transport) learnPeer(id core.ProcessID, addr string) {
+	if id == t.cfg.ID || id == core.NoProcess || addr == "" || addr == t.Addr() {
+		return
+	}
+	t.mu.Lock()
+	if _, known := t.byID[id]; known {
+		// Possibly the seed peer just got its identity bound; make sure
+		// the addr index exists, then nothing to announce.
+		t.ensurePeerLocked(id, addr)
+		t.mu.Unlock()
+		return
+	}
+	p := t.ensurePeerLocked(id, addr)
+	others := make([]*peer, 0, len(t.byAddr))
+	for _, q := range t.byAddr {
+		if q != p {
+			others = append(others, q)
+		}
+	}
+	pending := t.pendingInquiry
+	t.mu.Unlock()
+	if p == nil {
+		return
+	}
+	t.cfg.Logf("nettransport %v: learned peer %v at %s", t.cfg.ID, id, addr)
+	// Gossip the newcomer to everyone already known.
+	if payload, err := wire.EncodeFrame(wire.Frame{
+		Type:  wire.FramePeers,
+		Peers: []wire.Peer{{ID: id, Addr: addr}},
+	}); err == nil {
+		for _, q := range others {
+			q.send(t, payload)
+		}
+	}
+	// Replay our in-flight join INQUIRY so the paper's "broadcast reaches
+	// every present process" holds across the discovery race.
+	if pending != nil && !t.active.Load() {
+		p.send(t, pending)
+	}
+}
+
+// evictPeer removes a peer its own writer has proven unreachable for
+// EvictAfter. Guarded against the address having been re-registered.
+func (t *Transport) evictPeer(p *peer) {
+	t.mu.Lock()
+	if t.byAddr[p.addr] == p {
+		delete(t.byAddr, p.addr)
+	}
+	if p.id != core.NoProcess && t.byID[p.id] == p {
+		delete(t.byID, p.id)
+	}
+	t.mu.Unlock()
+	t.cfg.Logf("nettransport %v: evicted unreachable peer %v at %s", t.cfg.ID, p.id, p.addr)
+	p.stop()
+}
+
+// forgetPeer removes a departed process: its writer stops redialing.
+func (t *Transport) forgetPeer(id core.ProcessID) {
+	t.mu.Lock()
+	p := t.byID[id]
+	if p != nil {
+		delete(t.byID, id)
+		delete(t.byAddr, p.addr)
+	}
+	t.mu.Unlock()
+	if p != nil {
+		t.cfg.Logf("nettransport %v: peer %v left", t.cfg.ID, id)
+		p.stop()
+	}
+}
+
+// readConn drains one connection. own is the outbound peer the connection
+// belongs to (nil for accepted connections); accepted connections answer
+// the remote's HELLO with our HELLO + address book — the only writes ever
+// issued on an inbound connection, all from this goroutine. onDead, when
+// set, runs once the connection stops being readable, so an idle writer
+// learns its link died without having to write into it.
+func (t *Transport) readConn(conn net.Conn, own *peer, accepted bool, onDead func()) {
+	defer t.wg.Done()
+	defer t.untrackConn(conn)
+	defer conn.Close()
+	if onDead != nil {
+		defer onDead()
+	}
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !isClosedErr(err) {
+				t.stats.DecodeErrors.Add(1)
+				t.cfg.Logf("nettransport %v: read %s: %v", t.cfg.ID, conn.RemoteAddr(), err)
+			}
+			return
+		}
+		t.stats.FramesReceived.Add(1)
+		switch f.Type {
+		case wire.FrameHello:
+			if own != nil && f.From != core.NoProcess {
+				// The acceptor's HELLO reply on a connection we dialed:
+				// bind the peer's identity.
+				t.mu.Lock()
+				t.ensurePeerLocked(f.From, own.addr)
+				t.mu.Unlock()
+			}
+			t.learnPeer(f.From, f.Addr)
+			if accepted {
+				conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				if err := wire.WriteFrame(conn, t.helloFrame()); err != nil {
+					return
+				}
+				if err := wire.WriteFrame(conn, t.peersFrame()); err != nil {
+					return
+				}
+				conn.SetWriteDeadline(time.Time{})
+				t.stats.FramesSent.Add(2)
+			}
+		case wire.FramePeers:
+			for _, p := range f.Peers {
+				t.learnPeer(p.ID, p.Addr)
+			}
+		case wire.FrameMsg:
+			from, msg := f.From, f.Msg
+			t.enqueue(func() { t.node.Deliver(from, msg) })
+		case wire.FrameLeave:
+			t.forgetPeer(f.From)
+		}
+	}
+}
+
+// isClosedErr reports whether err is the ordinary end of a connection
+// (remote closed or crashed, or we tore it down) rather than a protocol
+// problem worth logging.
+func isClosedErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// peer is one outbound link: a queue drained by a dial/redial writer.
+type peer struct {
+	addr string
+	// id is the peer's identity once learned (guarded by the transport's
+	// mutex; NoProcess until the peer's HELLO arrives).
+	id      core.ProcessID
+	out     chan []byte
+	quit    chan struct{}
+	stopped sync.Once
+	// inflight is a frame whose write failed when the connection broke;
+	// drain retries it first after the reconnect (only the writer
+	// goroutine touches it). Frames the remote had not yet read from its
+	// kernel buffer are still lost — the link is fair-lossy, not reliable
+	// — but not losing the frame we were holding shrinks the loss window
+	// considerably.
+	inflight []byte
+}
+
+func (p *peer) stop() { p.stopped.Do(func() { close(p.quit) }) }
+
+// send enqueues an encoded payload, dropping the oldest queued frame when
+// the queue is full (fair-lossy links; blocking would stall the sender's
+// protocol loop, which is worse than a lost message).
+func (p *peer) send(t *Transport, payload []byte) {
+	select {
+	case <-p.quit:
+		return
+	default:
+	}
+	select {
+	case p.out <- payload:
+		t.stats.FramesSent.Add(1)
+	default:
+		select {
+		case <-p.out:
+			t.stats.QueueDrops.Add(1)
+		default:
+		}
+		select {
+		case p.out <- payload:
+			t.stats.FramesSent.Add(1)
+		default:
+			t.stats.QueueDrops.Add(1)
+		}
+	}
+}
+
+// run is the peer's writer goroutine: dial (with backoff), handshake,
+// drain the queue, redial on error — until the peer or the transport
+// stops, or the peer proves dead (dials failing for EvictAfter).
+func (p *peer) run(t *Transport) {
+	defer t.wg.Done()
+	dialer := net.Dialer{Timeout: t.cfg.DialTimeout}
+	backoff := 25 * time.Millisecond
+	first := true
+	var failingSince time.Time
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-t.quit:
+			return
+		default:
+		}
+		conn, err := dialer.DialContext(t.ctx, "tcp", p.addr)
+		if err != nil {
+			if failingSince.IsZero() {
+				failingSince = time.Now()
+			} else if time.Since(failingSince) > t.cfg.EvictAfter {
+				t.evictPeer(p)
+				return
+			}
+			select {
+			case <-p.quit:
+				return
+			case <-t.quit:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 500*time.Millisecond {
+				backoff = 500 * time.Millisecond
+			}
+			continue
+		}
+		failingSince = time.Time{}
+		backoff = 25 * time.Millisecond
+		if !first {
+			t.stats.Reconnects.Add(1)
+		}
+		first = false
+		if !t.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		// The connection is full duplex: the remote's HELLO reply and any
+		// traffic it pushes back arrive on this reader. The reader also
+		// watches for the link dying while the writer is idle: connDead
+		// unblocks drain so the redial (and eventually eviction) happens
+		// even with no frame to send.
+		connDead := make(chan struct{})
+		t.wg.Add(1)
+		go t.readConn(conn, p, false, func() { close(connDead) })
+		if !p.drain(t, conn, connDead) {
+			return
+		}
+	}
+}
+
+// drain writes HELLO then queued frames until the connection breaks
+// (returns true: redial) or the peer stops (returns false).
+func (p *peer) drain(t *Transport, conn net.Conn, connDead <-chan struct{}) bool {
+	write := func(b []byte) bool {
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Write(b); err != nil {
+			conn.Close()
+			return false
+		}
+		return true
+	}
+	hello, err := wire.EncodeFrame(t.helloFrame())
+	if err != nil || !write(wire.FrameBytes(hello)) {
+		return err == nil
+	}
+	t.stats.FramesSent.Add(1)
+	if p.inflight != nil {
+		payload := p.inflight
+		if !write(wire.FrameBytes(payload)) {
+			return true
+		}
+		p.inflight = nil
+	}
+	for {
+		select {
+		case <-p.quit:
+			conn.Close()
+			return false
+		case <-t.quit:
+			conn.Close()
+			return false
+		case <-connDead:
+			conn.Close()
+			return true
+		case payload := <-p.out:
+			if !write(wire.FrameBytes(payload)) {
+				p.inflight = payload
+				return true
+			}
+		}
+	}
+}

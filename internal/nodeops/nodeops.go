@@ -1,0 +1,240 @@
+// Package nodeops turns the asynchronous, loop-confined protocol node API
+// (core.KeyedReader, core.KeyedWriter, ...) into blocking operations with
+// real-time deadlines. It is the one implementation of "invoke an
+// operation on a node and wait" shared by every real-time runtime:
+// internal/livenet (goroutines + channels) and internal/nettransport (OS
+// processes + TCP) both delegate here, so the two runtimes cannot drift in
+// how they route reads to local vs. quorum protocols or how they emulate
+// batched writes.
+//
+// The contract mirrors core.Env's: an Invoke function schedules a closure
+// on the node's single loop goroutine; every channel the closures send to
+// is buffered, so a node completing an operation after its caller timed
+// out never blocks the loop.
+package nodeops
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"churnreg/internal/core"
+)
+
+// ErrTimeout is returned when an operation misses its real-time deadline.
+var ErrTimeout = errors.New("nodeops: operation timed out")
+
+// Invoke schedules fn on the node's loop goroutine — the only legal way to
+// touch a node — returning without waiting for fn to run. It returns an
+// error if the node is gone (left, killed, or the runtime closed).
+type Invoke func(fn func(core.Node)) error
+
+// ReadKey runs a read of one register and waits for its result, routing to
+// the protocol's local or quorum read as available.
+func ReadKey(inv Invoke, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
+	res := make(chan core.VersionedValue, 1)
+	errc := make(chan error, 1)
+	err := inv(func(n core.Node) {
+		switch r := n.(type) {
+		case core.KeyedLocalReader:
+			v, err := r.ReadLocalKey(reg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			res <- v
+		case core.KeyedReader:
+			if err := r.ReadKey(reg, func(v core.VersionedValue) { res <- v }); err != nil {
+				errc <- err
+			}
+		case core.LocalReader:
+			if reg != core.DefaultRegister {
+				errc <- fmt.Errorf("nodeops: node %T cannot read %v", n, reg)
+				return
+			}
+			v, err := r.ReadLocal()
+			if err != nil {
+				errc <- err
+				return
+			}
+			res <- v
+		case core.Reader:
+			if reg != core.DefaultRegister {
+				errc <- fmt.Errorf("nodeops: node %T cannot read %v", n, reg)
+				return
+			}
+			if err := r.Read(func(v core.VersionedValue) { res <- v }); err != nil {
+				errc <- err
+			}
+		default:
+			errc <- fmt.Errorf("nodeops: node %T cannot read", n)
+		}
+	})
+	if err != nil {
+		return core.Bottom(), err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case v := <-res:
+		return v, nil
+	case err := <-errc:
+		return core.Bottom(), err
+	case <-timer.C:
+		return core.Bottom(), ErrTimeout
+	}
+}
+
+// WriteKey runs a write of one register and waits for it to return ok.
+func WriteKey(inv Invoke, reg core.RegisterID, v core.Value, timeout time.Duration) error {
+	done := make(chan struct{}, 1)
+	errc := make(chan error, 1)
+	err := inv(func(n core.Node) {
+		switch w := n.(type) {
+		case core.KeyedWriter:
+			if err := w.WriteKey(reg, v, func() { done <- struct{}{} }); err != nil {
+				errc <- err
+			}
+		case core.Writer:
+			if reg != core.DefaultRegister {
+				errc <- fmt.Errorf("nodeops: node %T cannot write %v", n, reg)
+				return
+			}
+			if err := w.Write(v, func() { done <- struct{}{} }); err != nil {
+				errc <- err
+			}
+		default:
+			errc <- fmt.Errorf("nodeops: node %T cannot write", n)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case err := <-errc:
+		return err
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// WriteBatch stores several keys' values and waits for all of them to
+// return ok. Protocols implementing core.BatchWriter get the one-broadcast
+// fast path; any other keyed writer is driven with one WriteKey per entry,
+// all in flight concurrently (writes to distinct keys may overlap), so the
+// caller-facing semantics are uniform across protocols. Entries must be
+// sorted by Reg with no duplicates.
+func WriteBatch(inv Invoke, entries []core.KeyedWrite, timeout time.Duration) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("nodeops: empty batch")
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Reg >= entries[i].Reg {
+			return fmt.Errorf("nodeops: batch entries not sorted/unique at %v", entries[i].Reg)
+		}
+	}
+	done := make(chan struct{}, 1)
+	errc := make(chan error, 1)
+	err := inv(func(n core.Node) {
+		if bw, ok := n.(core.BatchWriter); ok {
+			if err := bw.WriteBatch(entries, func() { done <- struct{}{} }); err != nil {
+				errc <- err
+			}
+			return
+		}
+		kw, ok := n.(core.KeyedWriter)
+		if !ok {
+			errc <- fmt.Errorf("nodeops: node %T cannot write batches", n)
+			return
+		}
+		// remaining is only touched by per-key done callbacks, which all run
+		// on the node's loop goroutine — no lock needed.
+		remaining := len(entries)
+		for _, e := range entries {
+			if err := kw.WriteKey(e.Reg, e.Val, func() {
+				remaining--
+				if remaining == 0 {
+					done <- struct{}{}
+				}
+			}); err != nil {
+				errc <- err
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case err := <-errc:
+		return err
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// SnapshotKey returns the node's local copy of one register (for checking
+// and metrics; not a protocol read).
+func SnapshotKey(inv Invoke, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
+	res := make(chan core.VersionedValue, 1)
+	if err := inv(func(n core.Node) {
+		if s, ok := n.(core.KeyedSnapshotter); ok {
+			res <- s.SnapshotKey(reg)
+			return
+		}
+		if reg == core.DefaultRegister {
+			res <- n.Snapshot()
+			return
+		}
+		res <- core.Bottom()
+	}); err != nil {
+		return core.Bottom(), err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case v := <-res:
+		return v, nil
+	case <-timer.C:
+		return core.Bottom(), ErrTimeout
+	}
+}
+
+// WaitActive blocks until the node's join has returned, polling on its
+// loop goroutine every poll interval, or until timeout.
+func WaitActive(inv Invoke, poll, timeout time.Duration) error {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		done := make(chan bool, 1)
+		if err := inv(func(n core.Node) { done <- n.Active() }); err != nil {
+			return err
+		}
+		select {
+		case active := <-done:
+			if active {
+				return nil
+			}
+		case <-deadline.C:
+			return ErrTimeout
+		}
+		select {
+		case <-ticker.C:
+		case <-deadline.C:
+			return ErrTimeout
+		}
+	}
+}

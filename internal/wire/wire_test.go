@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"churnreg/internal/core"
+)
+
+// randMessage draws one message of each kind in rotation with randomized
+// fields, including batched join snapshots and multi-key write batches.
+func randMessage(rng *rand.Rand, kind core.MsgKind) core.Message {
+	vv := func() core.VersionedValue {
+		return core.VersionedValue{Val: core.Value(rng.Int63() - rng.Int63()), SN: core.SeqNum(rng.Int63n(1 << 40))}
+	}
+	kvs := func(n int) []core.KeyedValue {
+		if n == 0 {
+			return nil
+		}
+		out := make([]core.KeyedValue, n)
+		for i := range out {
+			out[i] = core.KeyedValue{Reg: core.RegisterID(rng.Int63n(1 << 20)), Value: vv()}
+		}
+		return out
+	}
+	from := core.ProcessID(rng.Int63n(1 << 30))
+	switch kind {
+	case core.KindInquiry:
+		return core.InquiryMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30))}
+	case core.KindReply:
+		return core.ReplyMsg{From: from, Value: vv(), RSN: core.ReadSeq(rng.Int63n(1 << 30)),
+			Reg: core.RegisterID(rng.Int63n(1 << 20)), Rest: kvs(rng.Intn(64))}
+	case core.KindWrite:
+		return core.WriteMsg{From: from, Value: vv(), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+	case core.KindAck:
+		return core.AckMsg{From: from, SN: core.SeqNum(rng.Int63n(1 << 40)), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+	case core.KindRead:
+		return core.ReadMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30)), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+	case core.KindDLPrev:
+		return core.DLPrevMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30)), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+	case core.KindClaim:
+		return core.ClaimMsg{From: from, Stamp: rng.Int63()}
+	case core.KindBeat:
+		return core.BeatMsg{From: from, Free: rng.Intn(2) == 0, Seq: rng.Uint64()}
+	case core.KindToken:
+		return core.TokenMsg{From: from}
+	case core.KindWriteBatch:
+		return core.WriteBatchMsg{From: from, Entries: kvs(1 + rng.Intn(32))}
+	default:
+		panic("unknown kind")
+	}
+}
+
+var allKinds = []core.MsgKind{
+	core.KindInquiry, core.KindReply, core.KindWrite, core.KindAck,
+	core.KindRead, core.KindDLPrev, core.KindClaim, core.KindBeat,
+	core.KindToken, core.KindWriteBatch,
+}
+
+func TestMessageRoundTripEveryKind(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range allKinds {
+		for trial := 0; trial < 200; trial++ {
+			m := randMessage(rng, kind)
+			b, err := EncodeMessage(m)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", kind, err)
+			}
+			got, err := DecodeMessage(b)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", kind, err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("%v: round trip mismatch:\n in: %#v\nout: %#v", kind, m, got)
+			}
+		}
+	}
+}
+
+func TestMessageRoundTripBoundaryValues(t *testing.T) {
+	// Extremes: negative sentinels (BottomSN, neverBeat-era stamps), zero
+	// values, max int64.
+	msgs := []core.Message{
+		core.InquiryMsg{From: core.NoProcess, RSN: core.JoinReadSeq},
+		core.ReplyMsg{From: 1, Value: core.Bottom(), RSN: -1, Reg: core.DefaultRegister},
+		core.ReplyMsg{From: 1<<62 - 1, Value: core.VersionedValue{Val: -1 << 62, SN: 1<<62 - 1},
+			RSN: 1<<62 - 1, Reg: 1<<62 - 1,
+			Rest: []core.KeyedValue{{Reg: -5, Value: core.Bottom()}}},
+		core.WriteMsg{From: 3, Value: core.VersionedValue{Val: -9, SN: 0}, Reg: 0},
+		core.AckMsg{From: 2, SN: core.BottomSN, Reg: -1},
+		core.BeatMsg{From: 4, Free: true, Seq: 1<<64 - 1},
+		core.ClaimMsg{From: 5, Stamp: -1 << 40},
+		core.TokenMsg{From: 6},
+		core.WriteBatchMsg{From: 7, Entries: []core.KeyedValue{{Reg: 1, Value: core.VersionedValue{Val: 2, SN: 3}}}},
+	}
+	for _, m := range msgs {
+		b, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", m, err)
+		}
+		got, err := DecodeMessage(b)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", m, got)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	frames := []Frame{
+		{Type: FrameHello, From: 42, Addr: "127.0.0.1:7001"},
+		{Type: FrameHello, From: 1, Addr: ""},
+		{Type: FrameLeave, From: 9},
+		{Type: FramePeers},
+		{Type: FramePeers, Peers: []Peer{{ID: 1, Addr: "10.0.0.1:9"}, {ID: 2, Addr: "[::1]:80"}}},
+	}
+	for _, kind := range allKinds {
+		frames = append(frames, Frame{Type: FrameMsg, From: core.ProcessID(rng.Int63n(1 << 30)), Msg: randMessage(rng, kind)})
+	}
+	for _, f := range frames {
+		payload, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", f, err)
+		}
+		got, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("frame round trip mismatch:\n in: %#v\nout: %#v", f, got)
+		}
+	}
+}
+
+func TestWriteReadFrameStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var buf bytes.Buffer
+	var sent []Frame
+	for i := 0; i < 100; i++ {
+		f := Frame{Type: FrameMsg, From: core.ProcessID(i + 1), Msg: randMessage(rng, allKinds[i%len(allKinds)])}
+		sent = append(sent, f)
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	for i, want := range sent {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d mismatch:\n in: %#v\nout: %#v", i, want, got)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("stream has %d trailing bytes", buf.Len())
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := EncodeFrame(Frame{Type: FrameMsg, From: 1, Msg: core.TokenMsg{From: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"version only":     {Version},
+		"bad version":      {99, byte(FrameMsg)},
+		"bad frame type":   {Version, 99},
+		"truncated msg":    valid[:len(valid)-1],
+		"trailing bytes":   append(append([]byte{}, valid...), 0),
+		"bad msg kind":     {Version, byte(FrameMsg), 0, 0, 0, 0, 0, 0, 0, 1, 99},
+		"hello addr short": {Version, byte(FrameHello), 0, 0, 0, 0, 0, 0, 0, 1, 0, 50, 'x'},
+		"peers count lies": {Version, byte(FramePeers), 0, 0, 4, 0},
+	}
+	for name, b := range cases {
+		if _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: DecodeFrame accepted malformed payload % x", name, b)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("ReadFrame accepted a 4 GiB length prefix")
+	}
+}
+
+// TestForgedCountNoHugeAlloc forges a snapshot reply whose entry count
+// claims far more entries than the payload holds; the decoder must reject
+// it without allocating for the claimed count.
+func TestForgedCountNoHugeAlloc(t *testing.T) {
+	b, err := EncodeMessage(core.ReplyMsg{From: 1, Reg: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last 4 bytes are the Rest count; forge it huge.
+	b[len(b)-1] = 0xff
+	b[len(b)-2] = 0xff
+	b[len(b)-3] = 0xff
+	if _, err := DecodeMessage(b); err == nil {
+		t.Fatal("decoder accepted forged entry count")
+	}
+}

@@ -2,6 +2,7 @@ package churnreg
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"churnreg/internal/core"
@@ -107,6 +108,28 @@ func (c *LiveCluster) WriteKey(k RegisterID, v int64) error {
 	}
 	if err != nil {
 		return fmt.Errorf("churnreg: live write %v: %w", k, err)
+	}
+	return nil
+}
+
+// WriteBatch stores several keys' values via the designated writer
+// process: one broadcast covers the whole batch for batching protocols
+// (the synchronous one), concurrent per-key writes otherwise.
+func (c *LiveCluster) WriteBatch(kvs map[RegisterID]int64) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	ks := make([]RegisterID, 0, len(kvs))
+	for k := range kvs {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	entries := make([]core.KeyedWrite, len(ks))
+	for i, k := range ks {
+		entries[i] = core.KeyedWrite{Reg: k, Val: core.Value(kvs[k])}
+	}
+	if err := c.cluster.WriteBatch(c.writer, entries, c.opts.opTimeout); err != nil {
+		return fmt.Errorf("churnreg: live write batch: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,348 @@
+package churnreg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"churnreg/internal/core"
+	"churnreg/internal/nettransport"
+	"churnreg/internal/sim"
+)
+
+// NetCluster runs the chosen protocol over REAL TCP sockets: every
+// process owns a listener on 127.0.0.1, dials its peers, and speaks the
+// internal/wire binary codec — the same transport cmd/regserve deploys
+// across machines, here packaged as an in-process cluster so library
+// callers and examples can opt into real networking by swapping one
+// constructor. The API mirrors LiveCluster; protocol state machines are
+// identical across SimCluster, LiveCluster, and NetCluster.
+//
+// Like LiveCluster there is no churn engine (drive membership with Join,
+// Leave, and Kill) and no built-in history checking. The synchronous
+// protocol's δ budget must cover genuine TCP round-trips plus scheduler
+// slop — keep Delta×Tick at tens of milliseconds.
+type NetCluster struct {
+	opts   options
+	mu     sync.Mutex
+	nodes  map[ProcessID]*nettransport.Transport
+	writer ProcessID
+	nextID ProcessID
+}
+
+// NewNetCluster builds and starts a TCP-backed cluster of n processes on
+// loopback ephemeral ports.
+func NewNetCluster(opt ...Option) (*NetCluster, error) {
+	o := defaults()
+	for _, f := range opt {
+		f(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	c := &NetCluster{opts: o, nodes: make(map[ProcessID]*nettransport.Transport)}
+	trs := make([]*nettransport.Transport, 0, o.n)
+	addrs := make([]string, 0, o.n)
+	for i := 0; i < o.n; i++ {
+		id := ProcessID(i + 1)
+		tr, err := nettransport.New(c.transportConfig(id, core.SpawnContext{
+			Bootstrap:   true,
+			Initial:     core.VersionedValue{Val: core.Value(o.initial), SN: 0},
+			InitialKeys: o.initialKeys,
+		}))
+		if err != nil {
+			for _, prev := range trs {
+				prev.Close()
+			}
+			return nil, err
+		}
+		trs = append(trs, tr)
+		addrs = append(addrs, tr.Addr())
+		c.nodes[id] = tr
+	}
+	for i, tr := range trs {
+		seeds := make([]string, 0, o.n-1)
+		for j, a := range addrs {
+			if j != i {
+				seeds = append(seeds, a)
+			}
+		}
+		tr.Start(seeds)
+	}
+	c.nextID = ProcessID(o.n)
+	c.writer = 1
+	return c, nil
+}
+
+func (c *NetCluster) transportConfig(id ProcessID, sc core.SpawnContext) nettransport.Config {
+	return nettransport.Config{
+		ID:          id,
+		ListenAddr:  "127.0.0.1:0",
+		N:           c.opts.n,
+		Delta:       sim.Duration(c.opts.delta),
+		Tick:        c.opts.tick,
+		Factory:     c.opts.factory(),
+		Bootstrap:   sc.Bootstrap,
+		Initial:     sc.Initial,
+		InitialKeys: sc.InitialKeys,
+	}
+}
+
+// Close shuts every process down and waits for their goroutines.
+func (c *NetCluster) Close() {
+	c.mu.Lock()
+	trs := make([]*nettransport.Transport, 0, len(c.nodes))
+	for id, tr := range c.nodes {
+		trs = append(trs, tr)
+		delete(c.nodes, id)
+	}
+	c.mu.Unlock()
+	for _, tr := range trs {
+		tr.Close()
+	}
+}
+
+// Size returns the number of present processes.
+func (c *NetCluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// IDs returns the present processes' identities, ascending.
+func (c *NetCluster) IDs() []ProcessID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ProcessID, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Addrs returns the present processes' TCP listen addresses, keyed by id
+// — handy for pointing an external regserve at an in-process cluster.
+func (c *NetCluster) Addrs() map[ProcessID]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[ProcessID]string, len(c.nodes))
+	for id, tr := range c.nodes {
+		out[id] = tr.Addr()
+	}
+	return out
+}
+
+// Join adds a fresh process: it dials the present membership as seeds,
+// runs the paper's join protocol over TCP, and blocks until the join
+// returns.
+func (c *NetCluster) Join() (ProcessID, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	seeds := make([]string, 0, len(c.nodes))
+	for _, tr := range c.nodes {
+		seeds = append(seeds, tr.Addr())
+	}
+	c.mu.Unlock()
+	if len(seeds) == 0 {
+		return NoProcess, ErrNoActiveProcess
+	}
+	tr, err := nettransport.New(c.transportConfig(id, core.SpawnContext{}))
+	if err != nil {
+		return NoProcess, err
+	}
+	c.mu.Lock()
+	c.nodes[id] = tr
+	c.mu.Unlock()
+	tr.Start(seeds)
+	if err := tr.WaitActive(c.opts.opTimeout); err != nil {
+		c.mu.Lock()
+		delete(c.nodes, id)
+		c.mu.Unlock()
+		tr.Close()
+		return id, fmt.Errorf("churnreg: net join %v: %w", id, err)
+	}
+	return id, nil
+}
+
+// NoProcess is the zero ProcessID (re-exported for callers).
+const NoProcess = core.NoProcess
+
+// Leave removes the process gracefully: peers learn of the departure and
+// stop dialing it.
+func (c *NetCluster) Leave(id ProcessID) error {
+	tr, err := c.take(id)
+	if err != nil {
+		return err
+	}
+	tr.Leave()
+	return nil
+}
+
+// Kill removes the process abruptly (no LEAVE frame), as a crash would.
+func (c *NetCluster) Kill(id ProcessID) error {
+	tr, err := c.take(id)
+	if err != nil {
+		return err
+	}
+	tr.Close()
+	return nil
+}
+
+func (c *NetCluster) take(id ProcessID) (*nettransport.Transport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.nodes[id]
+	if !ok {
+		return nil, ErrNoActiveProcess
+	}
+	delete(c.nodes, id)
+	return tr, nil
+}
+
+func (c *NetCluster) get(id ProcessID) (*nettransport.Transport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.nodes[id]
+	if !ok {
+		return nil, ErrNoActiveProcess
+	}
+	return tr, nil
+}
+
+// WriterID returns the currently designated writer process.
+func (c *NetCluster) WriterID() ProcessID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writer
+}
+
+// Write stores v in register 0 via the designated writer process.
+func (c *NetCluster) Write(v int64) error { return c.WriteKey(core.DefaultRegister, v) }
+
+// WriteKey stores v in one register via the designated writer process,
+// adopting a successor if the writer departed (same value-continuity wait
+// as LiveCluster: the last completed write propagated within δ of the
+// departure).
+func (c *NetCluster) WriteKey(k RegisterID, v int64) error {
+	tr, err := c.writerTransport()
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteKey(k, core.Value(v), c.opts.opTimeout); err != nil {
+		return fmt.Errorf("churnreg: net write %v: %w", k, err)
+	}
+	return nil
+}
+
+// WriteBatch stores several keys' values via the designated writer: one
+// broadcast for batching protocols, concurrent per-key writes otherwise.
+func (c *NetCluster) WriteBatch(kvs map[RegisterID]int64) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	tr, err := c.writerTransport()
+	if err != nil {
+		return err
+	}
+	ks := make([]RegisterID, 0, len(kvs))
+	for k := range kvs {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	entries := make([]core.KeyedWrite, len(ks))
+	for i, k := range ks {
+		entries[i] = core.KeyedWrite{Reg: k, Val: core.Value(kvs[k])}
+	}
+	if err := tr.WriteBatch(entries, c.opts.opTimeout); err != nil {
+		return fmt.Errorf("churnreg: net write batch: %w", err)
+	}
+	return nil
+}
+
+// writerTransport resolves the designated writer, adopting the lowest
+// present id after a propagation wait if the writer left.
+func (c *NetCluster) writerTransport() (*nettransport.Transport, error) {
+	c.mu.Lock()
+	tr, ok := c.nodes[c.writer]
+	c.mu.Unlock()
+	if ok {
+		return tr, nil
+	}
+	// The writer departed. Wait out value propagation (see
+	// LiveCluster.WriteKey) before a successor writes.
+	time.Sleep(5 * time.Duration(c.opts.delta) * c.opts.tick)
+	ids := c.IDs()
+	if len(ids) == 0 {
+		return nil, ErrNoActiveProcess
+	}
+	c.mu.Lock()
+	c.writer = ids[0]
+	tr = c.nodes[c.writer]
+	c.mu.Unlock()
+	if tr == nil {
+		return nil, ErrNoActiveProcess
+	}
+	return tr, nil
+}
+
+// WriteAt stores v in register 0 via a specific process.
+func (c *NetCluster) WriteAt(id ProcessID, v int64) error {
+	return c.WriteKeyAt(id, core.DefaultRegister, v)
+}
+
+// WriteKeyAt stores v in one register via a specific process.
+func (c *NetCluster) WriteKeyAt(id ProcessID, k RegisterID, v int64) error {
+	tr, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteKey(k, core.Value(v), c.opts.opTimeout); err != nil {
+		return fmt.Errorf("churnreg: net write %v at %v: %w", k, id, err)
+	}
+	return nil
+}
+
+// ReadAt reads register 0 via a specific process.
+func (c *NetCluster) ReadAt(id ProcessID) (int64, error) {
+	return c.ReadKeyAt(id, core.DefaultRegister)
+}
+
+// ReadKeyAt reads one register via a specific process.
+func (c *NetCluster) ReadKeyAt(id ProcessID, k RegisterID) (int64, error) {
+	tr, err := c.get(id)
+	if err != nil {
+		return 0, err
+	}
+	v, err := tr.ReadKey(k, c.opts.opTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("churnreg: net read %v at %v: %w", k, id, err)
+	}
+	if v.IsBottom() {
+		return 0, ErrValueUnavailable
+	}
+	return int64(v.Val), nil
+}
+
+// Read reads register 0 via any present process.
+func (c *NetCluster) Read() (int64, error) { return c.ReadKey(core.DefaultRegister) }
+
+// ReadKey reads one register via any present process, preferring one that
+// is not the writer.
+func (c *NetCluster) ReadKey(k RegisterID) (int64, error) {
+	ids := c.IDs()
+	if len(ids) == 0 {
+		return 0, ErrNoActiveProcess
+	}
+	writer := c.WriterID()
+	for _, id := range ids {
+		if id != writer {
+			if v, err := c.ReadKeyAt(id, k); err == nil {
+				return v, nil
+			}
+		}
+	}
+	return c.ReadKeyAt(writer, k)
+}

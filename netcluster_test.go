@@ -1,0 +1,109 @@
+package churnreg
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNetClusterEndToEnd drives the TCP-backed cluster through the same
+// journey the quickstart takes on the simulator: write, read everywhere,
+// batch, join (the joiner must have learned every key), graceful leave,
+// crash, and writer failover.
+func TestNetClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster; skipped in -short")
+	}
+	c, err := NewNetCluster(
+		WithN(3),
+		WithProtocol(EventuallySynchronous),
+		WithDelta(5),
+		WithTick(time.Millisecond),
+		WithOperationTimeout(15*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Write(41); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := c.WriteBatch(map[RegisterID]int64{1: 10, 2: 20}); err != nil {
+		t.Fatalf("write batch: %v", err)
+	}
+	for _, id := range c.IDs() {
+		v, err := c.ReadKeyAt(id, 2)
+		if err != nil {
+			t.Fatalf("read key 2 at %v: %v", id, err)
+		}
+		if v != 20 {
+			t.Fatalf("read key 2 at %v = %d, want 20", id, v)
+		}
+	}
+
+	joined, err := c.Join()
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	v, err := c.ReadKeyAt(joined, 1)
+	if err != nil {
+		t.Fatalf("read at joiner: %v", err)
+	}
+	if v != 10 {
+		t.Fatalf("joiner read key 1 = %d, want 10 (snapshot join must cover every key)", v)
+	}
+
+	// Graceful departure of a non-writer, then a crash of the writer:
+	// WriteKey adopts a successor and the system keeps serving.
+	if err := c.Leave(joined); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	writer := c.WriterID()
+	if err := c.Kill(writer); err != nil {
+		t.Fatalf("kill writer: %v", err)
+	}
+	if err := c.Write(99); err != nil {
+		t.Fatalf("write after writer crash: %v", err)
+	}
+	got, err := c.Read()
+	if err != nil {
+		t.Fatalf("read after failover: %v", err)
+	}
+	if got != 99 {
+		t.Fatalf("read after failover = %d, want 99", got)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size = %d, want 2", c.Size())
+	}
+}
+
+// TestNetClusterSyncProtocol runs the synchronous protocol over TCP with
+// a δ budget generous enough for loopback sockets plus timer slop.
+func TestNetClusterSyncProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster; skipped in -short")
+	}
+	c, err := NewNetCluster(
+		WithN(3),
+		WithProtocol(Synchronous),
+		WithDelta(40),
+		WithTick(time.Millisecond),
+		WithOperationTimeout(15*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Write(7); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for _, id := range c.IDs() {
+		v, err := c.ReadAt(id)
+		if err != nil {
+			t.Fatalf("read at %v: %v", id, err)
+		}
+		if v != 7 {
+			t.Fatalf("read at %v = %d, want 7", id, v)
+		}
+	}
+}

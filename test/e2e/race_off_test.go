@@ -1,0 +1,8 @@
+//go:build !race
+
+package e2e
+
+// raceEnabled mirrors whether the test binary was built with -race, so
+// TestMain can build the regserve under test with matching
+// instrumentation.
+const raceEnabled = false
