@@ -1,0 +1,98 @@
+// Command benchjson runs the repository's machine-readable benchmark
+// suite and writes one BENCH_<name>.json per benchmark into -out. CI
+// uploads the files as artifacts on every PR, so the performance
+// trajectory accumulates next to the test signal; checked-in copies pin
+// the numbers a PR claims.
+//
+//	go run ./cmd/benchjson -out .
+//
+// Current suite:
+//
+//   - pipeline (internal/benchpipe): single-node ops/sec on the live
+//     runtime at in-flight depth 1 vs 16 vs 128 — the concurrent
+//     operation engine's scaling curve. See README "Reading BENCH_*.json".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"churnreg/internal/benchpipe"
+	"churnreg/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", ".", "directory to write BENCH_<name>.json files into")
+		depths = fs.String("depths", "1,16,128", "comma-separated in-flight depths for the pipeline benchmark")
+		ops    = fs.Int("ops", 25, "operations per worker per depth")
+		n      = fs.Int("n", 5, "cluster size")
+		delta  = fs.Int64("delta", 5, "δ in ticks")
+		tick   = fs.Duration("tick", time.Millisecond, "real duration of one tick")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ds []int
+	for _, p := range strings.Split(*depths, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad depth %q", p)
+		}
+		ds = append(ds, d)
+	}
+
+	rep, err := benchpipe.Run(benchpipe.Config{
+		N:            *n,
+		Delta:        sim.Duration(*delta),
+		Tick:         *tick,
+		Depths:       ds,
+		OpsPerWorker: *ops,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(*out, "BENCH_pipeline.json"), rep); err != nil {
+		return err
+	}
+	for _, d := range rep.Depths {
+		fmt.Printf("pipeline depth %3d: %7.1f ops/sec (%d ops in %.2fs)\n",
+			d.Depth, d.OpsPerSec, d.Ops, d.Seconds)
+	}
+	for depth, s := range rep.Speedup {
+		fmt.Printf("pipeline speedup depth %s vs 1: %.1fx\n", depth, s)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

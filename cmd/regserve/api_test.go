@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"churnreg/internal/core"
+)
+
+// fakeBackend implements the api's backend interface in memory: writes
+// assign the key's next sequence number under a lock, reads return the
+// stored copy. A hold channel, when set, blocks writes until released —
+// the hook the concurrency tests use to observe in-flight state.
+type fakeBackend struct {
+	mu   sync.Mutex
+	vals map[core.RegisterID]core.VersionedValue
+	hold chan struct{}
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{vals: make(map[core.RegisterID]core.VersionedValue)}
+}
+
+func (f *fakeBackend) ReadKey(reg core.RegisterID, _ time.Duration) (core.VersionedValue, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.vals[reg], nil
+}
+
+func (f *fakeBackend) WriteKey(reg core.RegisterID, v core.Value, _ time.Duration) (core.VersionedValue, error) {
+	if f.hold != nil {
+		<-f.hold
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next := core.VersionedValue{Val: v, SN: f.vals[reg].SN + 1}
+	f.vals[reg] = next
+	return next, nil
+}
+
+func (f *fakeBackend) WriteBatch(entries []core.KeyedWrite, d time.Duration) ([]core.KeyedValue, error) {
+	out := make([]core.KeyedValue, len(entries))
+	for i, e := range entries {
+		vv, err := f.WriteKey(e.Reg, e.Val, d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = core.KeyedValue{Reg: e.Reg, Value: vv}
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) Invoke(fn func(core.Node)) error { return nil }
+func (f *fakeBackend) Active() bool                    { return true }
+func (f *fakeBackend) PeerCount() int                  { return 2 }
+func (f *fakeBackend) Addr() string                    { return "fake:0" }
+
+func newTestAPI(t *testing.T, b backend) *httptest.Server {
+	t.Helper()
+	cfg := &serverConfig{id: 1, protocol: "sync", opTimeout: time.Second}
+	srv := httptest.NewServer(newAPI(cfg, b, make(chan struct{}, 1)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func call(t *testing.T, method, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func get(t *testing.T, url string) (int, string)  { return call(t, "GET", url) }
+func post(t *testing.T, url string) (int, string) { return call(t, "POST", url) }
+
+// TestAPIWriteReportsExactSN pins the pipelining contract on the wire:
+// the sn in a write response is the one THIS write stored, not a
+// snapshot that a concurrent write could have advanced.
+func TestAPIWriteReportsExactSN(t *testing.T) {
+	b := newFakeBackend()
+	srv := newTestAPI(t, b)
+	for want := int64(1); want <= 3; want++ {
+		status, body := post(t, srv.URL+"/write?key=5&val=42")
+		if status != 200 {
+			t.Fatalf("write status %d: %s", status, body)
+		}
+		var res struct {
+			SN int64 `json:"sn"`
+		}
+		if err := json.Unmarshal([]byte(body), &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.SN != want {
+			t.Fatalf("write #%d reported sn %d", want, res.SN)
+		}
+	}
+	status, body := post(t, srv.URL+"/writebatch?b=1=10,2=20")
+	if status != 200 {
+		t.Fatalf("writebatch status %d: %s", status, body)
+	}
+	var res struct {
+		SNs map[string]int64 `json:"sns"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SNs["1"] != 1 || res.SNs["2"] != 1 {
+		t.Fatalf("batch sns = %v, want both 1", res.SNs)
+	}
+}
+
+// TestAPIMetricsEndpoint drives traffic through the handlers and checks
+// the /metrics exposition: latency histograms count completed operations,
+// and the in-flight gauge is live while a write is blocked mid-handler.
+func TestAPIMetricsEndpoint(t *testing.T) {
+	b := newFakeBackend()
+	srv := newTestAPI(t, b)
+
+	for i := 0; i < 3; i++ {
+		if status, body := get(t, srv.URL+"/read?key=7"); status != 200 {
+			t.Fatalf("read status %d: %s", status, body)
+		}
+	}
+	if status, body := post(t, srv.URL+"/write?key=7&val=1"); status != 200 {
+		t.Fatalf("write status %d: %s", status, body)
+	}
+
+	status, body := get(t, srv.URL+"/metrics")
+	if status != 200 {
+		t.Fatalf("metrics status %d", status)
+	}
+	for _, line := range []string{
+		`regserve_op_seconds_count{op="read"} 3`,
+		`regserve_op_seconds_count{op="write"} 1`,
+		`regserve_op_seconds_bucket{op="read",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics output missing %q:\n%s", line, body)
+		}
+	}
+
+	// Gauge: block a write inside the backend and watch it appear.
+	b.hold = make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		status, _ := post(t, srv.URL+"/write?key=9&val=2")
+		if status != 200 {
+			errc <- io.ErrUnexpectedEOF
+			return
+		}
+		errc <- nil
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		_, body := get(t, srv.URL+"/metrics")
+		if strings.Contains(body, `regserve_op_inflight{op="write",key="9"} 1`) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("in-flight gauge never appeared:\n%s", body)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	close(b.hold)
+	if err := <-errc; err != nil {
+		t.Fatal("blocked write failed")
+	}
+	// Drained: the gauge series disappears (bounded exposition).
+	_, body = get(t, srv.URL+"/metrics")
+	if strings.Contains(body, `regserve_op_inflight{op="write",key="9"}`) {
+		t.Fatalf("in-flight gauge not reclaimed:\n%s", body)
+	}
+}

@@ -25,10 +25,16 @@
 //	regserve -id 4 -listen 127.0.0.1:7004 -api 127.0.0.1:8004 -n 3 -peers 127.0.0.1:7001
 //	curl -X POST 'localhost:8002/leave'    # graceful departure
 //
-// The write discipline is the paper's: callers must not issue concurrent
-// writes to the same key (one writing client per key, or coordination
-// above the API — or -protocol multiwriter, which serializes writers with
-// the §7 token).
+// The HTTP handlers are genuinely concurrent: every request is its own
+// pipelined operation on the node (the protocols run an operation table,
+// not a single pending slot), so one regserve serves many in-flight
+// reads and writes at once — across keys and on the same key. The write
+// discipline that remains is the paper's, per key ACROSS nodes: do not
+// write one key through two different nodes concurrently (one writing
+// client per key, coordination above the API, or -protocol multiwriter,
+// which serializes writers with the §7 token). Operational visibility
+// lives on /metrics (Prometheus text): per-key in-flight gauges and
+// read/write latency histograms.
 package main
 
 import (
@@ -50,6 +56,7 @@ import (
 	"churnreg/internal/abd"
 	"churnreg/internal/core"
 	"churnreg/internal/esyncreg"
+	"churnreg/internal/metrics"
 	"churnreg/internal/multiwriter"
 	"churnreg/internal/nettransport"
 	"churnreg/internal/nodeops"
@@ -203,22 +210,50 @@ func run(args []string, out, errW io.Writer) error {
 	return nil
 }
 
-// api serves the client operations over HTTP.
+// backend is the slice of the transport the HTTP layer drives — an
+// interface so handler tests exercise the API against a fake without
+// binding sockets. *nettransport.Transport is the production
+// implementation.
+type backend interface {
+	ReadKey(reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error)
+	WriteKey(reg core.RegisterID, v core.Value, timeout time.Duration) (core.VersionedValue, error)
+	WriteBatch(entries []core.KeyedWrite, timeout time.Duration) ([]core.KeyedValue, error)
+	Invoke(fn func(core.Node)) error
+	Active() bool
+	PeerCount() int
+	Addr() string
+}
+
+var _ backend = (*nettransport.Transport)(nil)
+
+// api serves the client operations over HTTP. Handlers run concurrently
+// (net/http gives each request a goroutine) and the backend pipelines
+// every call as its own node operation; the api itself keeps no
+// operation state beyond metrics.
 type api struct {
 	cfg    *serverConfig
-	tr     *nettransport.Transport
+	tr     backend
+	ops    *metrics.OpMetrics
 	leavec chan<- struct{}
 }
 
-func newAPI(cfg *serverConfig, tr *nettransport.Transport, leavec chan<- struct{}) http.Handler {
-	a := &api{cfg: cfg, tr: tr, leavec: leavec}
+func newAPI(cfg *serverConfig, tr backend, leavec chan<- struct{}) http.Handler {
+	a := &api{cfg: cfg, tr: tr, ops: metrics.NewOpMetrics(), leavec: leavec}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /health", a.health)
 	mux.HandleFunc("GET /read", a.read)
 	mux.HandleFunc("POST /write", a.write)
 	mux.HandleFunc("POST /writebatch", a.writeBatch)
 	mux.HandleFunc("POST /leave", a.leave)
+	mux.HandleFunc("GET /metrics", a.metrics)
 	return mux
+}
+
+// metrics serves the Prometheus text exposition: per-key in-flight
+// gauges and per-operation latency histograms.
+func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.ops.WritePrometheus(w)
 }
 
 func (a *api) reply(w http.ResponseWriter, status int, v any) {
@@ -261,7 +296,9 @@ func (a *api) read(w http.ResponseWriter, r *http.Request) {
 		a.reply(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	done := a.ops.Begin("read", int64(key))
 	v, err := a.tr.ReadKey(key, a.cfg.opTimeout)
+	done()
 	if err != nil {
 		a.replyErr(w, err)
 		return
@@ -284,19 +321,18 @@ func (a *api) write(w http.ResponseWriter, r *http.Request) {
 		a.replyErr(w, err)
 		return
 	}
-	if err := a.tr.WriteKey(key, core.Value(val), a.cfg.opTimeout); err != nil {
+	done := a.ops.Begin("write", int64(key))
+	vv, err := a.tr.WriteKey(key, core.Value(val), a.cfg.opTimeout)
+	done()
+	if err != nil {
 		a.replyErr(w, err)
 		return
 	}
-	// Report the sequence number the protocol assigned: this node is the
-	// key's writer, so its local copy right after the write IS the written
-	// version (clients with one writer per key use it to correlate reads
-	// with writes).
-	sn := int64(-1)
-	if v, err := a.tr.SnapshotKey(key, a.cfg.opTimeout); err == nil {
-		sn = int64(v.SN)
-	}
-	a.reply(w, http.StatusOK, map[string]any{"ok": true, "key": int64(key), "val": val, "sn": sn})
+	// Report the sequence number the protocol assigned TO THIS WRITE —
+	// carried back through the operation table, so it is exact even with
+	// several writes to this key in flight (a snapshot here could reflect
+	// a later pipelined write).
+	a.reply(w, http.StatusOK, map[string]any{"ok": true, "key": int64(key), "val": val, "sn": int64(vv.SN)})
 }
 
 func (a *api) writeBatch(w http.ResponseWriter, r *http.Request) {
@@ -309,15 +345,21 @@ func (a *api) writeBatch(w http.ResponseWriter, r *http.Request) {
 		a.replyErr(w, err)
 		return
 	}
-	if err := a.tr.WriteBatch(entries, a.cfg.opTimeout); err != nil {
+	dones := make([]func(), len(entries))
+	for i, e := range entries {
+		dones[i] = a.ops.Begin("write", int64(e.Reg))
+	}
+	kvs, err := a.tr.WriteBatch(entries, a.cfg.opTimeout)
+	for _, done := range dones {
+		done()
+	}
+	if err != nil {
 		a.replyErr(w, err)
 		return
 	}
-	sns := make(map[string]int64, len(entries))
-	for _, e := range entries {
-		if v, err := a.tr.SnapshotKey(e.Reg, a.cfg.opTimeout); err == nil {
-			sns[strconv.FormatInt(int64(e.Reg), 10)] = int64(v.SN)
-		}
+	sns := make(map[string]int64, len(kvs))
+	for _, kv := range kvs {
+		sns[strconv.FormatInt(int64(kv.Reg), 10)] = int64(kv.Value.SN)
 	}
 	a.reply(w, http.StatusOK, map[string]any{"ok": true, "keys": len(entries), "sns": sns})
 }

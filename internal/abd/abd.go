@@ -23,29 +23,39 @@
 // replaces informed replicas with empty ones — the motivation for the
 // paper's churn-aware joins.
 //
-// Per-key state mirrors the dynamic protocols: one map of local copies,
-// one map of in-flight quorum operations, instantiated lazily. Operations
-// on distinct keys may run concurrently on one node.
+// Concurrency mirrors the dynamic protocols: every client operation is an
+// entry in one operation table keyed by core.OpID, so reads and writes may
+// be in flight concurrently on one node — across keys and pipelined on a
+// key. REPLYs route by the OpID they echo; ACKs route by OpID when the
+// replica echoed one, else by the ⟨key, sequence number⟩ they name.
+// Sequence numbers are assigned at invocation, so pipelined writes to one
+// key carry increasing numbers in invocation order.
 package abd
 
 import (
 	"churnreg/internal/core"
 )
 
-// kop is one key's in-flight quorum operation state.
-type kop struct {
+// op is one in-flight quorum operation.
+type op struct {
+	reg core.RegisterID
+
 	reading     bool
-	readRSN     core.ReadSeq
 	readReplies map[core.ProcessID]core.VersionedValue
 	readDone    func(core.VersionedValue)
 
 	writing   bool
-	writeSN   core.SeqNum
+	writeVal  core.VersionedValue
 	writeAck  map[core.ProcessID]bool
-	writeDone func()
+	writeDone func(core.VersionedValue)
 }
 
-func (o *kop) busy() bool { return o.reading || o.writing }
+// ackKey routes acknowledgments that carry no OpID: an in-flight write is
+// also indexed by the ⟨register, sequence number⟩ its ACKs name.
+type ackKey struct {
+	reg core.RegisterID
+	sn  core.SeqNum
+}
 
 // Node is one process running the static ABD-style protocol.
 type Node struct {
@@ -54,9 +64,10 @@ type Node struct {
 	vals   *core.RegStore
 	active bool // bootstrap processes only; replacements stay passive
 
-	readSN core.ReadSeq
-	ops    map[core.RegisterID]*kop
-	rsnReg map[core.ReadSeq]core.RegisterID
+	// ops is the operation table; ackRoute indexes in-flight writes by the
+	// ⟨reg, sn⟩ their acknowledgments carry.
+	ops      *core.OpTable[op]
+	ackRoute map[ackKey]core.OpID
 
 	stats Stats
 }
@@ -74,10 +85,10 @@ type Stats struct {
 // processes are passive replicas (see the package comment).
 func New(env core.Env, sc core.SpawnContext) *Node {
 	n := &Node{
-		env:    env,
-		vals:   core.NewRegStore(sc),
-		ops:    make(map[core.RegisterID]*kop),
-		rsnReg: make(map[core.ReadSeq]core.RegisterID),
+		env:      env,
+		vals:     core.NewRegStore(sc),
+		ops:      core.NewOpTable[op](0),
+		ackRoute: make(map[ackKey]core.OpID),
 	}
 	n.active = sc.Bootstrap
 	return n
@@ -97,7 +108,9 @@ var (
 	_ core.Writer           = (*Node)(nil)
 	_ core.KeyedReader      = (*Node)(nil)
 	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.SNWriter         = (*Node)(nil)
 	_ core.KeyedSnapshotter = (*Node)(nil)
+	_ core.OpAccountant     = (*Node)(nil)
 )
 
 func (n *Node) majority() int { return n.env.SystemSize()/2 + 1 }
@@ -109,15 +122,6 @@ func (n *Node) value(k core.RegisterID) core.VersionedValue { return n.vals.Valu
 
 func (n *Node) merge(k core.RegisterID, v core.VersionedValue) {
 	n.vals.Merge(k, v, n.active)
-}
-
-func (n *Node) op(k core.RegisterID) *kop {
-	o, ok := n.ops[k]
-	if !ok {
-		o = &kop{}
-		n.ops[k] = o
-	}
-	return o
 }
 
 // Start implements core.Node. Bootstrap processes are active; replacements
@@ -140,6 +144,9 @@ func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue { return n.val
 // Keys implements core.KeyedSnapshotter.
 func (n *Node) Keys() []core.RegisterID { return n.vals.Keys() }
 
+// PendingOps implements core.OpAccountant.
+func (n *Node) PendingOps() int { return n.ops.Len() }
+
 // Stats returns a copy of this node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
@@ -149,40 +156,34 @@ func (n *Node) Read(done func(core.VersionedValue)) error {
 }
 
 // ReadKey implements core.KeyedReader: query all, adopt the majority's
-// freshest value for the key.
+// freshest value for the key. Any number of reads may be in flight.
 func (n *Node) ReadKey(k core.RegisterID, done func(core.VersionedValue)) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	o := n.op(k)
-	if o.busy() {
+	if n.ops.Full() {
 		return core.ErrOpInProgress
 	}
+	id, o := n.ops.Begin()
 	n.stats.Reads++
-	n.readSN++
+	o.reg = k
 	o.reading = true
-	o.readRSN = n.readSN
 	o.readReplies = make(map[core.ProcessID]core.VersionedValue)
 	o.readDone = done
-	n.rsnReg[o.readRSN] = k
-	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: o.readRSN, Reg: k})
+	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: core.ReadSeq(id), Reg: k, Op: id})
 	return nil
 }
 
-func (n *Node) checkRead(k core.RegisterID, o *kop) {
+func (n *Node) checkRead(id core.OpID, o *op) {
 	if !o.reading || len(o.readReplies) < n.majority() {
 		return
 	}
 	for _, v := range o.readReplies {
-		n.merge(k, v)
+		n.merge(o.reg, v)
 	}
-	o.reading = false
-	delete(n.rsnReg, o.readRSN)
-	o.readReplies = nil
-	done := o.readDone
-	o.readDone = nil
-	if done != nil {
-		done(n.value(k))
+	n.ops.Finish(id)
+	if o.readDone != nil {
+		o.readDone(n.value(o.reg))
 	}
 }
 
@@ -191,39 +192,68 @@ func (n *Node) Write(v core.Value, done func()) error {
 	return n.WriteKey(core.DefaultRegister, v, done)
 }
 
-// WriteKey implements core.KeyedWriter. Single-writer: the writer's own
-// sequence number for the key is authoritative, so no read phase is
-// needed.
+// WriteKey implements core.KeyedWriter — sugar over WriteKeySN.
 func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
+	return n.WriteKeySN(k, v, func(core.VersionedValue) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// WriteKeySN implements core.SNWriter. Single-writer: the writer's own
+// sequence number for the key is authoritative, so no read phase is
+// needed; it is assigned at invocation, so pipelined writes to one key
+// from this node number themselves in invocation order. done receives
+// the exact ⟨v, sn⟩ stored.
+func (n *Node) WriteKeySN(k core.RegisterID, v core.Value, done func(core.VersionedValue)) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	o := n.op(k)
-	if o.busy() {
+	if n.ops.Full() {
 		return core.ErrOpInProgress
 	}
+	id, o := n.ops.Begin()
 	n.stats.Writes++
 	next := core.VersionedValue{Val: v, SN: n.value(k).SN + 1}
 	n.vals.Store(k, next)
+	o.reg = k
 	o.writing = true
-	o.writeSN = next.SN
+	o.writeVal = next
 	o.writeAck = make(map[core.ProcessID]bool)
 	o.writeDone = done
-	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k})
+	n.ackRoute[ackKey{reg: k, sn: next.SN}] = id
+	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
 	return nil
 }
 
-func (n *Node) checkWrite(o *kop) {
+func (n *Node) checkWrite(id core.OpID, o *op) {
 	if !o.writing || len(o.writeAck) < n.majority() {
 		return
 	}
-	o.writing = false
-	o.writeAck = nil
-	done := o.writeDone
-	o.writeDone = nil
-	if done != nil {
-		done()
+	delete(n.ackRoute, ackKey{reg: o.reg, sn: o.writeVal.SN})
+	n.ops.Finish(id)
+	if o.writeDone != nil {
+		o.writeDone(o.writeVal)
 	}
+}
+
+// writeFor resolves the in-flight write an ACK feeds: by the OpID the
+// replica echoed when present, else by the ⟨reg, sn⟩ index.
+func (n *Node) writeFor(m core.AckMsg) (core.OpID, *op, bool) {
+	id := m.Op
+	if id == core.NoOp {
+		var ok bool
+		id, ok = n.ackRoute[ackKey{reg: m.Reg, sn: m.SN}]
+		if !ok {
+			return core.NoOp, nil, false
+		}
+	}
+	o, ok := n.ops.Get(id)
+	if !ok || !o.writing || o.reg != m.Reg || o.writeVal.SN != m.SN {
+		return core.NoOp, nil, false
+	}
+	return id, o, true
 }
 
 // Deliver implements core.Node.
@@ -238,29 +268,24 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 			n.stats.BottomSent++
 		}
 		n.stats.RepliesSent++
-		n.env.Send(msg.From, core.ReplyMsg{From: n.env.ID(), Value: v, RSN: msg.RSN, Reg: msg.Reg})
+		n.env.Send(msg.From, core.ReplyMsg{From: n.env.ID(), Value: v, RSN: msg.RSN, Reg: msg.Reg, Op: msg.Op})
 	case core.ReplyMsg:
-		k, open := n.rsnReg[msg.RSN]
-		if !open {
-			return
+		o, ok := n.ops.Get(msg.Op)
+		if !ok || !o.reading || o.reg != msg.Reg {
+			return // stale: the read completed (or never was)
 		}
-		o := n.ops[k]
 		if cur, ok := o.readReplies[msg.From]; !ok || msg.Value.MoreRecent(cur) {
 			o.readReplies[msg.From] = msg.Value
 		}
-		n.checkRead(k, o)
+		n.checkRead(msg.Op, o)
 	case core.WriteMsg:
 		n.merge(msg.Reg, msg.Value)
 		n.stats.AcksSent++
-		n.env.Send(msg.From, core.AckMsg{From: n.env.ID(), SN: msg.Value.SN, Reg: msg.Reg})
+		n.env.Send(msg.From, core.AckMsg{From: n.env.ID(), SN: msg.Value.SN, Reg: msg.Reg, Op: msg.Op})
 	case core.AckMsg:
-		o, ok := n.ops[msg.Reg]
-		if !ok {
-			return
-		}
-		if o.writing && msg.SN == o.writeSN {
+		if id, o, ok := n.writeFor(msg); ok {
 			o.writeAck[msg.From] = true
-			n.checkWrite(o)
+			n.checkWrite(id, o)
 		}
 	default:
 		panic("abd: unexpected message kind " + m.Kind().String())

@@ -26,10 +26,19 @@ import (
 
 // Node wraps an eventually synchronous node, upgrading Read to atomic
 // semantics via write-back. Writes and joins delegate unchanged.
+//
+// Unlike the wrapped register — whose operation table pipelines freely —
+// this wrapper keeps the paper-era one-read-at-a-time discipline: its
+// single write-back slot cannot disambiguate concurrent write-back ACK
+// quorums, so a second Read while one is in flight (either phase)
+// returns ErrOpInProgress. The pipelined path is the regular register;
+// the atomic upgrade is the sequential demonstration of the difference.
 type Node struct {
 	env   core.Env
 	inner *esyncreg.Node
 
+	// reading marks a Read in its quorum phase (before the write-back).
+	reading bool
 	// Write-back round state.
 	wbActive bool
 	wbSN     core.SeqNum
@@ -97,15 +106,17 @@ func (n *Node) Stats() Stats { return n.stats }
 // Read implements core.Reader with atomic semantics: quorum read, then
 // write the result back to a majority, then return.
 func (n *Node) Read(done func(core.VersionedValue)) error {
-	if n.wbActive {
+	if n.reading || n.wbActive {
 		return core.ErrOpInProgress
 	}
 	err := n.inner.Read(func(v core.VersionedValue) {
+		n.reading = false
 		n.startWriteBack(v, done)
 	})
 	if err != nil {
 		return err
 	}
+	n.reading = true
 	n.stats.Reads++
 	return nil
 }

@@ -1,0 +1,175 @@
+// Package benchpipe measures what the concurrent operation engine buys:
+// single-node operation throughput as a function of in-flight depth. It
+// runs the quorum-based eventually synchronous protocol on the live
+// (goroutine, wall-clock) runtime, drives one node with D concurrent
+// client workers — every operation targeting the SAME key, the hardest
+// case, since pipelined writes to one key must still be assigned
+// sequence numbers in order — and reports ops/sec per depth.
+//
+// Before the operation-table refactor a node served one operation per
+// key at a time, so depth beyond 1 bought nothing (callers just queued
+// on ErrOpInProgress). With pipelining, throughput scales with depth
+// until quorum round-trips saturate: the BENCH_pipeline.json artifact
+// this package feeds (via cmd/benchjson) tracks that curve per PR.
+package benchpipe
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"churnreg/internal/core"
+	"churnreg/internal/esyncreg"
+	"churnreg/internal/livenet"
+	"churnreg/internal/sim"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	// N is the cluster size (default 5).
+	N int
+	// Delta is δ in ticks (default 5); Tick its real duration (default
+	// 1ms). Message delay is uniform in [1, Delta] ticks.
+	Delta sim.Duration
+	Tick  time.Duration
+	// Depths are the in-flight depths to measure (default 1, 16, 128).
+	Depths []int
+	// OpsPerWorker is how many operations each concurrent worker issues
+	// per depth (default 25); total ops at depth D is D×OpsPerWorker.
+	OpsPerWorker int
+	// OpTimeout bounds one operation (default 30s).
+	OpTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.N <= 0 {
+		c.N = 5
+	}
+	if c.Delta <= 0 {
+		c.Delta = 5
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = []int{1, 16, 128}
+	}
+	if c.OpsPerWorker <= 0 {
+		c.OpsPerWorker = 25
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+}
+
+// DepthResult is the measurement at one in-flight depth.
+type DepthResult struct {
+	Depth     int     `json:"depth"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// Report is the artifact serialized as BENCH_pipeline.json.
+type Report struct {
+	Name     string        `json:"name"`
+	Protocol string        `json:"protocol"`
+	Runtime  string        `json:"runtime"`
+	Mix      string        `json:"mix"`
+	N        int           `json:"n"`
+	Delta    int64         `json:"delta_ticks"`
+	TickMS   float64       `json:"tick_ms"`
+	Depths   []DepthResult `json:"depths"`
+	// Speedups relate each depth's throughput to depth 1 (0 when depth 1
+	// was not measured).
+	Speedup map[string]float64 `json:"speedup_vs_depth1"`
+}
+
+// Run measures pipelined single-node throughput at each configured depth
+// on a fresh live cluster (fresh per run so depths don't warm each other).
+func Run(cfg Config) (Report, error) {
+	cfg.fillDefaults()
+	rep := Report{
+		Name:     "pipeline",
+		Protocol: "esync",
+		Runtime:  "livenet",
+		Mix:      "50/50 read/write, one hot key, one node",
+		N:        cfg.N,
+		Delta:    int64(cfg.Delta),
+		TickMS:   float64(cfg.Tick) / float64(time.Millisecond),
+		Speedup:  map[string]float64{},
+	}
+	for _, depth := range cfg.Depths {
+		res, err := runDepth(cfg, depth)
+		if err != nil {
+			return rep, fmt.Errorf("depth %d: %w", depth, err)
+		}
+		rep.Depths = append(rep.Depths, res)
+	}
+	if len(rep.Depths) > 0 && rep.Depths[0].Depth == 1 && rep.Depths[0].OpsPerSec > 0 {
+		base := rep.Depths[0].OpsPerSec
+		for _, d := range rep.Depths[1:] {
+			rep.Speedup[fmt.Sprintf("%d", d.Depth)] = d.OpsPerSec / base
+		}
+	}
+	return rep, nil
+}
+
+func runDepth(cfg Config, depth int) (DepthResult, error) {
+	cl, err := livenet.New(livenet.Config{
+		N:       cfg.N,
+		Delta:   cfg.Delta,
+		Tick:    cfg.Tick,
+		Factory: esyncreg.Factory(esyncreg.Options{}),
+		Seed:    uint64(depth) + 1,
+	})
+	if err != nil {
+		return DepthResult{}, err
+	}
+	defer cl.Close()
+	target := cl.IDs()[0]
+	const hotKey = core.RegisterID(1)
+
+	// Warm the key so the first reads don't race the very first write.
+	if _, err := cl.WriteKey(target, hotKey, 1, cfg.OpTimeout); err != nil {
+		return DepthResult{}, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+		valSeq   atomic.Int64
+	)
+	total := depth * cfg.OpsPerWorker
+	start := time.Now()
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				var err error
+				if (worker+i)%2 == 0 {
+					_, err = cl.WriteKey(target, hotKey, core.Value(valSeq.Add(1)), cfg.OpTimeout)
+				} else {
+					_, err = cl.ReadKey(target, hotKey, cfg.OpTimeout)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return DepthResult{}, err
+	}
+	return DepthResult{
+		Depth:     depth,
+		Ops:       total,
+		Seconds:   elapsed.Seconds(),
+		OpsPerSec: float64(total) / elapsed.Seconds(),
+	}, nil
+}

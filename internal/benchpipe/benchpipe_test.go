@@ -1,0 +1,40 @@
+package benchpipe
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPipelineScalesWithDepth is the benchmark's own acceptance floor: a
+// tiny configuration must still show pipelining beating depth 1 — if the
+// engine ever re-serializes per key, depth stops helping and this fails
+// long before anyone reads a BENCH artifact.
+func TestPipelineScalesWithDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up live clusters; skipped in -short")
+	}
+	rep, err := Run(Config{
+		N:            5,
+		Delta:        5,
+		Tick:         time.Millisecond,
+		Depths:       []int{1, 16},
+		OpsPerWorker: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Depths) != 2 {
+		t.Fatalf("depths measured = %d", len(rep.Depths))
+	}
+	d1, d16 := rep.Depths[0], rep.Depths[1]
+	if d1.Ops != 12 || d16.Ops != 16*12 {
+		t.Fatalf("op counts = %d, %d", d1.Ops, d16.Ops)
+	}
+	// The acceptance bar is 5x on a quiet machine; 3x keeps CI immune to
+	// noisy neighbours while still catching a re-serialized engine (which
+	// yields ~1x).
+	if d16.OpsPerSec < 3*d1.OpsPerSec {
+		t.Fatalf("depth 16 = %.1f ops/s vs depth 1 = %.1f ops/s: pipelining gain below 3x",
+			d16.OpsPerSec, d1.OpsPerSec)
+	}
+}

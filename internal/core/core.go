@@ -19,15 +19,21 @@ import (
 
 // Operation invocation errors. The paper assumes a process invokes read or
 // write only after its join has returned, and that a process runs one
-// operation at a time (processes are sequential); violating either is a
-// caller bug surfaced as an error rather than undefined protocol behaviour.
+// operation at a time (processes are sequential). This codebase relaxes the
+// second assumption: every protocol keeps an operation table keyed by OpID
+// and serves many concurrent client operations — across keys and pipelined
+// within a key — so ErrOpInProgress no longer polices sequentiality; it is
+// backpressure, returned only when a node's operation table is full.
 var (
 	// ErrNotActive is returned when read/write is invoked before the
 	// process's join operation has returned.
 	ErrNotActive = errors.New("register: process has not completed join")
-	// ErrOpInProgress is returned when an operation is invoked while the
-	// process still has one outstanding.
-	ErrOpInProgress = errors.New("register: operation already in progress")
+	// ErrOpInProgress is returned when a node cannot admit another
+	// in-flight operation: its operation table has MaxInFlightOps entries
+	// (backpressure — retry once earlier operations complete). The
+	// multi-writer token claim and the atomic read wrapper also return it
+	// for their genuinely one-at-a-time operations (claiming, write-back).
+	ErrOpInProgress = errors.New("register: operation table full (too many operations in progress)")
 )
 
 // ProcessID uniquely identifies a process across the whole run. The paper
@@ -124,6 +130,33 @@ type ReadSeq int64
 // operation's inquiry in the eventually synchronous protocol.
 const JoinReadSeq ReadSeq = 0
 
+// OpID identifies one client operation (a read or a write) at its invoking
+// node. Every protocol draws OpIDs from a single per-node counter — the
+// generalization of the paper's read_sn to ALL operations — and tags its
+// request broadcasts with them, so replies and acknowledgments route to
+// the exact in-flight operation they answer even when many operations on
+// the same key are pipelined. The pair (ProcessID, OpID) is globally
+// unique. For read-type requests the wire also carries the paper's
+// read_sn, which is numerically this OpID (one counter feeds both tags).
+type OpID uint64
+
+// NoOp is the reserved zero OpID. It identifies the join operation (the
+// paper's read_sn = 0 inquiry) on request messages, and marks "no
+// originating operation known" on indirectly triggered acknowledgments
+// (the Lemma-7 reply-acks, which feed a WRITER's quorum but are sent by a
+// READER that cannot know the writer's OpID — those route by the
+// ⟨register, sequence number⟩ the ack names instead).
+const NoOp OpID = 0
+
+// MaxInFlightOps bounds a node's operation table. An invocation arriving
+// with the table full gets ErrOpInProgress — backpressure, not protocol
+// state: entries are reclaimed as operations complete, and a departed
+// node's whole table is reclaimed with the node.
+const MaxInFlightOps = 1024
+
+// String renders the id in an op<n> style.
+func (id OpID) String() string { return fmt.Sprintf("op%d", uint64(id)) }
+
 // Env is the runtime surface a protocol node sees. Implementations must
 // guarantee single-threaded delivery per node: a node's handlers are never
 // invoked concurrently, so protocol state machines need no locks.
@@ -206,9 +239,10 @@ type Writer interface {
 }
 
 // KeyedReader is the multi-register analogue of Reader: a quorum read of
-// one register in the namespace. Reads of distinct keys may be in flight
-// concurrently on one node; a second read of the SAME key while one is
-// pending returns ErrOpInProgress.
+// one register in the namespace. Reads may be in flight concurrently on
+// one node — across keys and pipelined on the same key — each tracked as
+// its own operation-table entry; ErrOpInProgress only signals a full
+// table.
 type KeyedReader interface {
 	ReadKey(reg RegisterID, done func(VersionedValue)) error
 }
@@ -218,11 +252,36 @@ type KeyedLocalReader interface {
 	ReadLocalKey(reg RegisterID) (VersionedValue, error)
 }
 
-// KeyedWriter is the multi-register analogue of Writer. Writes to
-// distinct keys may be in flight concurrently on one node; the paper's
-// no-concurrent-writes discipline applies per key.
+// KeyedWriter is the multi-register analogue of Writer. Writes may be in
+// flight concurrently on one node — across keys, and pipelined on one key
+// from this node (sequence numbers are assigned in invocation order). The
+// paper's no-concurrent-writes discipline still applies per key ACROSS
+// nodes: two different nodes must not write one key concurrently.
 type KeyedWriter interface {
 	WriteKey(reg RegisterID, v Value, done func()) error
+}
+
+// SNWriter is implemented by protocols that report the exact versioned
+// value a write stored. Pipelined clients need it: with several writes to
+// one key in flight, a snapshot taken after completion may reflect a
+// LATER write, so the done callback carries this write's own ⟨v, sn⟩.
+// WriteKey is sugar over this method in every protocol that has it.
+type SNWriter interface {
+	WriteKeySN(reg RegisterID, v Value, done func(VersionedValue)) error
+}
+
+// SNBatchWriter is the batch analogue of SNWriter: done receives the
+// exact ⟨v, sn⟩ stored for each entry, in entry order.
+type SNBatchWriter interface {
+	WriteBatchSN(entries []KeyedWrite, done func([]KeyedValue)) error
+}
+
+// OpAccountant exposes the size of a node's operation table, for leak
+// checks and metrics: a quiescent node (no client operation in flight)
+// must report 0 — completed, failed, and superseded operations all
+// reclaim their entries.
+type OpAccountant interface {
+	PendingOps() int
 }
 
 // BatchWriter is implemented by protocols that can disseminate updates to

@@ -67,17 +67,20 @@ type Message interface {
 
 // InquiryMsg is INQUIRY(i) in the synchronous protocol (Figure 1 line 05)
 // and INQUIRY(i, read_sn) in the eventually synchronous one (Figure 4 line
-// 03). The synchronous protocol leaves RSN at JoinReadSeq.
+// 03). The synchronous protocol leaves RSN at JoinReadSeq. Op is the
+// inquiring operation's id — NoOp for the join, which is the only
+// operation that inquires.
 type InquiryMsg struct {
 	From ProcessID
 	RSN  ReadSeq
+	Op   OpID
 }
 
 // Kind implements Message.
 func (InquiryMsg) Kind() MsgKind { return KindInquiry }
 
 // WireSize implements Message.
-func (InquiryMsg) WireSize() int { return 16 }
+func (InquiryMsg) WireSize() int { return 24 }
 
 // ReplyMsg is REPLY(⟨i, register, sn⟩) (Figure 1 line 11/14) or
 // REPLY(⟨i, register, sn⟩, r_sn) (Figure 4 lines 09/13). RSN identifies
@@ -95,6 +98,11 @@ type ReplyMsg struct {
 	Value VersionedValue
 	RSN   ReadSeq
 	Reg   RegisterID
+	// Op echoes the request's OpID, so the requester routes the reply to
+	// the exact in-flight operation it answers — the pipelining tag that
+	// replaces "the node's one pending read". For read-type requests it is
+	// numerically RSN (one counter feeds both); NoOp marks a join reply.
+	Op OpID
 	// Rest holds the snapshot's remaining keys (join replies only).
 	// Receivers must not mutate it.
 	Rest []KeyedValue
@@ -104,7 +112,7 @@ type ReplyMsg struct {
 func (ReplyMsg) Kind() MsgKind { return KindReply }
 
 // WireSize implements Message.
-func (m ReplyMsg) WireSize() int { return 40 + 32*len(m.Rest) }
+func (m ReplyMsg) WireSize() int { return 48 + 32*len(m.Rest) }
 
 // Entries visits every (reg, value) pair the reply carries, primary entry
 // first, without materializing a slice on the single-key fast path.
@@ -116,25 +124,31 @@ func (m ReplyMsg) Entries(visit func(RegisterID, VersionedValue)) {
 }
 
 // WriteMsg is WRITE(v, sn) (Figure 2 line 01) or WRITE(i, ⟨v, sn⟩)
-// (Figure 6 line 04), addressed to one register of the namespace.
+// (Figure 6 line 04), addressed to one register of the namespace. Op is
+// the writing operation's id at the sender: direct ACKs echo it, so a
+// writer with several writes to one key in flight matches each ACK to the
+// write it acknowledges. NoOp marks a write-back (atomicreg), which has
+// no write operation behind it.
 type WriteMsg struct {
 	From  ProcessID
 	Value VersionedValue
 	Reg   RegisterID
+	Op    OpID
 }
 
 // Kind implements Message.
 func (WriteMsg) Kind() MsgKind { return KindWrite }
 
 // WireSize implements Message.
-func (WriteMsg) WireSize() int { return 32 }
+func (WriteMsg) WireSize() int { return 40 }
 
 // WriteBatchMsg disseminates updates to several registers in one
 // broadcast (synchronous protocol only): each entry is applied exactly as
 // a lone WRITE for its key would be. Entries are in ascending Reg order;
-// receivers must not mutate the slice.
+// receivers must not mutate the slice. Op tags the batch operation.
 type WriteBatchMsg struct {
 	From    ProcessID
+	Op      OpID
 	Entries []KeyedValue
 }
 
@@ -142,53 +156,65 @@ type WriteBatchMsg struct {
 func (WriteBatchMsg) Kind() MsgKind { return KindWriteBatch }
 
 // WireSize implements Message.
-func (m WriteBatchMsg) WireSize() int { return 8 + 32*len(m.Entries) }
+func (m WriteBatchMsg) WireSize() int { return 16 + 32*len(m.Entries) }
 
 // AckMsg is ACK(i, sn) (Figure 6 line 08, Figure 4 line 20). SN carries the
 // register sequence number being acknowledged (see the DESIGN.md §2 note on
 // why the REPLY-triggered ACK carries the register sn rather than r_sn).
-// Reg names the register whose write quorum the ACK feeds.
+// Reg names the register whose write quorum the ACK feeds. Op echoes the
+// WRITE's OpID for acks triggered directly by a WRITE delivery; the
+// indirect acks (reply-acks from readers and joiners, Lemma 7) carry NoOp
+// — their sender cannot know the writer's OpID — and route at the writer
+// by the ⟨Reg, SN⟩ they name instead.
 type AckMsg struct {
 	From ProcessID
 	SN   SeqNum
 	Reg  RegisterID
+	Op   OpID
 }
 
 // Kind implements Message.
 func (AckMsg) Kind() MsgKind { return KindAck }
 
 // WireSize implements Message.
-func (AckMsg) WireSize() int { return 24 }
+func (AckMsg) WireSize() int { return 32 }
 
-// ReadMsg is READ(i, read_sn) (Figure 5 line 03) for one register.
+// ReadMsg is READ(i, read_sn) (Figure 5 line 03) for one register. Op is
+// the reading operation's id — numerically equal to RSN (both are drawn
+// from the node's one operation counter); a write's embedded read phase
+// carries the WRITE operation's id, so its replies route to the write.
 type ReadMsg struct {
 	From ProcessID
 	RSN  ReadSeq
 	Reg  RegisterID
+	Op   OpID
 }
 
 // Kind implements Message.
 func (ReadMsg) Kind() MsgKind { return KindRead }
 
 // WireSize implements Message.
-func (ReadMsg) WireSize() int { return 24 }
+func (ReadMsg) WireSize() int { return 32 }
 
 // DLPrevMsg is DL_PREV(i, r_sn) (Figure 4 lines 14/16): "I saw your
 // request while not yet able to answer it; I will answer when active" —
 // the sender asks the receiver to remember it in dl_prev. RSN =
 // JoinReadSeq marks the pending request as the sender's join (answered
 // with a full snapshot reply); any other RSN is a read of register Reg.
+// Op is the sender's pending operation id the receiver must echo in its
+// eventual REPLY (numerically RSN; NoOp for a join).
 type DLPrevMsg struct {
 	From ProcessID
 	RSN  ReadSeq
 	Reg  RegisterID
+	Op   OpID
 }
 
 // Kind implements Message.
 func (DLPrevMsg) Kind() MsgKind { return KindDLPrev }
 
 // WireSize implements Message.
-func (DLPrevMsg) WireSize() int { return 24 }
+func (DLPrevMsg) WireSize() int { return 32 }
 
 // ClaimMsg is the multi-writer extension's CLAIM(i, stamp): process i bids
 // for the write token with its invocation timestamp; lower (stamp, id)

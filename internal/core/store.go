@@ -112,7 +112,9 @@ func SnapshotKey(node Node, k RegisterID) VersionedValue {
 // order. One unicast disseminates every key — the batch dissemination
 // that lets a process join once and serve any key.
 func (s *RegStore) SnapshotReply(from ProcessID, rsn ReadSeq, active bool) ReplyMsg {
-	m := ReplyMsg{From: from, Value: s.Value(DefaultRegister, active), RSN: rsn}
+	// Op echoes the request's operation id, which for read-type requests
+	// is numerically its read_sn (one counter feeds both tags).
+	m := ReplyMsg{From: from, Value: s.Value(DefaultRegister, active), RSN: rsn, Op: OpID(rsn)}
 	ks := s.sortedNonZeroKeys()
 	if len(ks) == 0 {
 		return m

@@ -8,6 +8,7 @@ package dynsys
 
 import (
 	"fmt"
+	"sort"
 
 	"churnreg/internal/churn"
 	"churnreg/internal/core"
@@ -223,6 +224,19 @@ func (s *System) Node(id core.ProcessID) core.Node {
 		return p.node
 	}
 	return nil
+}
+
+// ForEachNode visits every present process's node in ascending id order
+// (deterministic — safe to drive assertions from).
+func (s *System) ForEachNode(f func(core.ProcessID, core.Node)) {
+	ids := make([]core.ProcessID, 0, len(s.procs))
+	for id := range s.procs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f(id, s.procs[id].node)
+	}
 }
 
 // Present reports whether id is in the system.

@@ -17,14 +17,25 @@
 //     number), then broadcast WRITE(i, ⟨v, sn+1⟩, k) and wait for a
 //     majority of ACKs carrying (k, sn+1).
 //
+// Concurrency: the paper's processes are sequential — one operation at a
+// time. This node is not: every client operation is an entry in ONE
+// operation table keyed by core.OpID (the generalization of the paper's
+// read_sn to all operations — both tags are drawn from the same per-node
+// counter), so any number of reads and writes may be in flight, across
+// keys and pipelined on the same key. Replies route to the exact
+// operation whose OpID they echo; acknowledgments route by echoed OpID
+// or, for the indirect Lemma-7 acks, by the ⟨key, sequence number⟩ they
+// name. The one serialization that remains is SN ASSIGNMENT: pipelined
+// writes to one key pass through a per-key FIFO at the moment their
+// embedded read completes, so a node's writes to a key carry strictly
+// increasing sequence numbers in invocation order. The paper's
+// no-concurrent-writes discipline survives per key ACROSS nodes — two
+// different nodes must still not write one key concurrently.
+//
 // Membership vs. register state: the join, the active flag and the
 // deferred-request sets are maintained once per process; everything
-// register-valued — local copies, pending read quorums, pending write
-// quorums — lives in maps keyed by core.RegisterID, instantiated lazily
-// when a READ/WRITE first names a key. Operations on DISTINCT keys may be
-// in flight concurrently on one node (each has its own read_sn, drawn from
-// the node's single counter, so replies route unambiguously); operations
-// on the same key remain sequential, the paper's discipline.
+// register-valued — local copies and the operation table — is keyed by
+// core.RegisterID or core.OpID and instantiated lazily.
 //
 // The DL_PREV mechanism is what makes operations live (Lemmas 5–7): a
 // process that sees a request it cannot answer yet — or that has a pending
@@ -42,8 +53,6 @@
 package esyncreg
 
 import (
-	"sort"
-
 	"churnreg/internal/core"
 )
 
@@ -62,39 +71,50 @@ type Options struct {
 }
 
 // reqKey identifies a pending remote request: who asked, which of their
-// requests (read_sn; 0 is the join), and — for reads — which register.
-// A join request (rsn == JoinReadSeq) is answered with a full snapshot,
-// so its reg is irrelevant and left zero.
+// requests (read_sn, numerically the requester's OpID; 0 is the join),
+// and — for reads — which register. A join request (rsn == JoinReadSeq)
+// is answered with a full snapshot, so its reg is irrelevant and left
+// zero.
 type reqKey struct {
 	id  core.ProcessID
 	rsn core.ReadSeq
 	reg core.RegisterID
 }
 
-// kop is the in-flight operation state of one register on this node —
-// the per-key sub-register the membership engine multiplexes.
-type kop struct {
-	// reading / readRSN / readReplies / readDone mirror Figure 5's
-	// reading_i, read_sn_i and replies_i for this key.
+// op is one in-flight client operation — a read, or a write with its
+// embedded read phase. Its OpID tags every request it broadcasts, which
+// is how replies and acks find it among arbitrarily many concurrent
+// operations (the per-key single pending slot this table replaced).
+type op struct {
+	reg core.RegisterID
+
+	// Read phase: Figure 5's reading_i / replies_i for a client read, or
+	// Figure 6 line 01's embedded read for a write.
 	reading     bool
-	readRSN     core.ReadSeq
 	readReplies map[core.ProcessID]core.VersionedValue
 	readDone    func(core.VersionedValue)
 
-	// writing / writeBroadcast / writeSN / writeVal / writeAck / writeDone
-	// mirror Figure 6's state for this key. writeBroadcast marks the
-	// write's second phase: the WRITE message is out and ACKs may count
-	// (without this gate, stale ACKs arriving during the embedded read
-	// would complete the operation before it broadcast anything).
-	writing        bool
+	// Write phase (Figure 6). writeReadDone marks the embedded read
+	// complete while the op waits its turn in the key's SN-assignment
+	// FIFO; writeBroadcast marks the WRITE out, which gates ACK counting
+	// (without it, stale ACKs arriving during the embedded read would
+	// complete the operation before it broadcast anything).
+	isWrite        bool
+	writeVal       core.Value
+	writeReadDone  bool
 	writeBroadcast bool
 	writeSN        core.SeqNum
-	writeVal       core.Value
 	writeAck       map[core.ProcessID]bool
-	writeDone      func()
+	writeDone      func(core.VersionedValue)
 }
 
-func (o *kop) busy() bool { return o.reading || o.writing }
+// ackKey routes acknowledgments that carry no OpID — the Lemma-7 reply
+// acks, whose sender cannot know the writer's OpID — to the in-flight
+// write whose ⟨register, sequence number⟩ they name.
+type ackKey struct {
+	reg core.RegisterID
+	sn  core.SeqNum
+}
 
 // Node is one process running the eventually synchronous protocol. It must
 // only be driven by a single-threaded runtime (core.Env guarantees this).
@@ -113,13 +133,14 @@ type Node struct {
 	// snapshots were merged (values fold into vals on arrival; only the
 	// replier set is needed for the majority test).
 	joinReplies map[core.ProcessID]bool
-	// readSN is read_sn_i, the node-wide request counter; 0 identifies
-	// the join inquiry, every per-key read draws the next value.
-	readSN core.ReadSeq
-	// ops holds the lazily instantiated per-key operation state.
-	ops map[core.RegisterID]*kop
-	// rsnReg routes a REPLY's r_sn to the key whose read it answers.
-	rsnReg map[core.ReadSeq]core.RegisterID
+	// ops is the operation table. Its counter doubles as read_sn_i: 0
+	// identifies the join inquiry, every operation draws the next value.
+	ops *core.OpTable[op]
+	// writeQ orders SN assignment per key: write OpIDs in invocation
+	// order, popped as their embedded reads complete (head first).
+	writeQ map[core.RegisterID][]core.OpID
+	// ackRoute indexes broadcast writes by the ⟨reg, sn⟩ their acks name.
+	ackRoute map[ackKey]core.OpID
 	// replyTo is reply_to_i; insertion-ordered for determinism.
 	replyTo     map[reqKey]bool
 	replyToList []reqKey
@@ -141,7 +162,7 @@ type Stats struct {
 	DeferredReplies  uint64 // replies sent at join completion (reply_to ∪ dl_prev)
 	DLPrevSent       uint64
 	AcksSent         uint64
-	StaleRepliesSeen uint64 // REPLYs whose r_sn matched no open request
+	StaleRepliesSeen uint64 // REPLYs whose op tag matched no open request
 }
 
 // New builds a node. Bootstrap nodes hold the initial values and are
@@ -153,8 +174,9 @@ func New(env core.Env, sc core.SpawnContext, opts Options) *Node {
 		opts:        opts,
 		vals:        core.NewRegStore(sc),
 		joinReplies: make(map[core.ProcessID]bool),
-		ops:         make(map[core.RegisterID]*kop),
-		rsnReg:      make(map[core.ReadSeq]core.RegisterID),
+		ops:         core.NewOpTable[op](0),
+		writeQ:      make(map[core.RegisterID][]core.OpID),
+		ackRoute:    make(map[ackKey]core.OpID),
 		replyTo:     make(map[reqKey]bool),
 		dlPrev:      make(map[reqKey]bool),
 	}
@@ -177,7 +199,9 @@ var (
 	_ core.Joiner           = (*Node)(nil)
 	_ core.KeyedReader      = (*Node)(nil)
 	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.SNWriter         = (*Node)(nil)
 	_ core.KeyedSnapshotter = (*Node)(nil)
+	_ core.OpAccountant     = (*Node)(nil)
 )
 
 // majority returns ⌊n/2⌋+1, the quorum size backed by the §5.2 assumption
@@ -193,18 +217,6 @@ func (n *Node) merge(k core.RegisterID, v core.VersionedValue) {
 	n.vals.Merge(k, v, n.active)
 }
 
-// op returns key k's operation state, instantiating the sub-register on
-// first use — an INQUIRY snapshot, READ or WRITE for an unseen key spins
-// it up transparently.
-func (n *Node) op(k core.RegisterID) *kop {
-	o, ok := n.ops[k]
-	if !ok {
-		o = &kop{}
-		n.ops[k] = o
-	}
-	return o
-}
-
 // Start implements core.Node — operation join(i), Figure 4 lines 01-04.
 func (n *Node) Start() {
 	if n.active {
@@ -212,13 +224,12 @@ func (n *Node) Start() {
 		return
 	}
 	n.joining = true
-	// Lines 01-02: initialization happened in New; read_sn_i starts at 0,
-	// identifying this join's inquiry.
-	n.readSN = core.JoinReadSeq
+	// Lines 01-02: initialization happened in New; read_sn_i starts at 0
+	// (the op counter's NoOp), identifying this join's inquiry.
 	// Line 03: broadcast INQUIRY(i, read_sn_i) — the process's one and
 	// only join inquiry, whatever number of registers the namespace holds.
 	n.stats.JoinInquiries++
-	n.env.Broadcast(core.InquiryMsg{From: n.env.ID(), RSN: n.readSN})
+	n.env.Broadcast(core.InquiryMsg{From: n.env.ID(), RSN: core.JoinReadSeq, Op: core.NoOp})
 	// Line 04 ("wait until |replies_i| ≥ n/2+1") is event-driven: the
 	// check runs on every REPLY arrival (checkJoin).
 }
@@ -262,12 +273,13 @@ func (n *Node) flushDeferred() {
 	n.dlPrevList = nil
 }
 
-// replyFor builds the REPLY answering one deferred request.
+// replyFor builds the REPLY answering one deferred request, echoing the
+// requester's operation id (numerically its read_sn).
 func (n *Node) replyFor(k reqKey) core.ReplyMsg {
 	if k.rsn == core.JoinReadSeq {
 		return n.snapshotReply(k.rsn)
 	}
-	return core.ReplyMsg{From: n.env.ID(), Value: n.value(k.reg), RSN: k.rsn, Reg: k.reg}
+	return core.ReplyMsg{From: n.env.ID(), Value: n.value(k.reg), RSN: k.rsn, Reg: k.reg, Op: core.OpID(k.rsn)}
 }
 
 // snapshotReply builds a REPLY carrying this node's entire register space
@@ -300,6 +312,9 @@ func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue { return n.val
 // Keys implements core.KeyedSnapshotter.
 func (n *Node) Keys() []core.RegisterID { return n.vals.Keys() }
 
+// PendingOps implements core.OpAccountant.
+func (n *Node) PendingOps() int { return n.ops.Len() }
+
 // Stats returns a copy of this node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
@@ -309,56 +324,59 @@ func (n *Node) Read(done func(core.VersionedValue)) error {
 }
 
 // ReadKey implements core.KeyedReader — operation read(i), Figure 5 lines
-// 01-07, on one key. done receives the value the read returns. Reads of
-// distinct keys may run concurrently; a second operation on the same key
-// returns ErrOpInProgress.
+// 01-07, on one key. done receives the value the read returns. Any number
+// of reads may be in flight concurrently, on this key or others;
+// ErrOpInProgress only signals a full operation table.
 func (n *Node) ReadKey(k core.RegisterID, done func(core.VersionedValue)) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	o := n.op(k)
-	if o.busy() {
+	if n.ops.Full() {
 		return core.ErrOpInProgress
 	}
+	// Line 01: read_sn_i := read_sn_i + 1 — the op counter, so every
+	// in-flight request (join or any operation) has a unique tag.
+	id, o := n.ops.Begin()
 	n.stats.Reads++
-	n.startRead(k, o, done)
+	o.reg = k
+	o.readDone = done
+	n.startReadPhase(id, o)
 	return nil
 }
 
-// startRead is the body shared by ReadKey and the write's embedded read.
-func (n *Node) startRead(k core.RegisterID, o *kop, done func(core.VersionedValue)) {
-	// Line 01: read_sn_i := read_sn_i + 1 — the node-wide counter, so
-	// every in-flight request (join or any key's read) has a unique tag.
-	n.readSN++
+// startReadPhase is Figure 5 lines 02-03, shared by client reads and the
+// write's embedded read: the broadcast READ carries the operation's id.
+func (n *Node) startReadPhase(id core.OpID, o *op) {
 	// Line 02: replies := ∅; reading := true.
 	o.reading = true
-	o.readRSN = n.readSN
 	o.readReplies = make(map[core.ProcessID]core.VersionedValue)
-	o.readDone = done
-	n.rsnReg[o.readRSN] = k
 	// Line 03: broadcast READ(i, read_sn_i).
-	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: o.readRSN, Reg: k})
+	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: core.ReadSeq(id), Reg: o.reg, Op: id})
 	// Line 04 is event-driven (checkRead on every REPLY).
 }
 
-// checkRead completes key k's read once a majority of matching replies
-// arrived (Figure 5 lines 05-07).
-func (n *Node) checkRead(k core.RegisterID, o *kop) {
+// checkRead completes an operation's read phase once a majority of
+// matching replies arrived (Figure 5 lines 05-07): a client read returns;
+// a write proceeds to SN assignment through its key's FIFO.
+func (n *Node) checkRead(id core.OpID, o *op) {
 	if !o.reading || len(o.readReplies) < n.majority() {
 		return
 	}
 	// Lines 05-06: merge the most up-to-date value.
 	for _, v := range o.readReplies {
-		n.merge(k, v)
+		n.merge(o.reg, v)
 	}
 	// Line 07: reading := false; return register_i.
 	o.reading = false
-	delete(n.rsnReg, o.readRSN)
 	o.readReplies = nil
-	done := o.readDone
-	o.readDone = nil
-	if done != nil {
-		done(n.value(k))
+	if o.isWrite {
+		o.writeReadDone = true
+		n.pumpWrites(o.reg)
+		return
+	}
+	n.ops.Finish(id)
+	if o.readDone != nil {
+		o.readDone(n.value(o.reg))
 	}
 }
 
@@ -367,53 +385,93 @@ func (n *Node) Write(v core.Value, done func()) error {
 	return n.WriteKey(core.DefaultRegister, v, done)
 }
 
-// WriteKey implements core.KeyedWriter — operation write(v), Figure 6
-// lines 01-05, on one key. The paper's no-concurrent-writes discipline
-// applies per key; writes to distinct keys may overlap on one node.
+// WriteKey implements core.KeyedWriter — sugar over WriteKeySN.
 func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
+	return n.WriteKeySN(k, v, func(core.VersionedValue) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// WriteKeySN implements core.SNWriter — operation write(v), Figure 6
+// lines 01-05, on one key. done receives the exact ⟨v, sn⟩ this write
+// stored. Writes may be in flight concurrently on this node — across
+// keys, and pipelined on one key: each runs its own embedded read, and
+// the key's FIFO assigns sequence numbers in invocation order. The
+// paper's no-concurrent-writes discipline applies per key across nodes.
+func (n *Node) WriteKeySN(k core.RegisterID, v core.Value, done func(core.VersionedValue)) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
-	o := n.op(k)
-	if o.busy() {
+	if n.ops.Full() {
 		return core.ErrOpInProgress
 	}
+	id, o := n.ops.Begin()
 	n.stats.Writes++
-	o.writing = true
-	o.writeBroadcast = false
-	o.writeDone = done
+	o.reg = k
+	o.isWrite = true
 	o.writeVal = v
+	o.writeDone = done
+	// Invocation order is FIFO order: this is what keeps pipelined writes
+	// to one key numbered in the order the client issued them.
+	n.writeQ[k] = append(n.writeQ[k], id)
 	// Line 01: read() — obtain the key's greatest sequence number. The
 	// embedded read also refreshes the local copy, so line 02's increment
 	// builds on it.
-	n.startRead(k, o, func(core.VersionedValue) {
-		// Line 02: sn_i := sn_i + 1; register_i := v.
+	n.startReadPhase(id, o)
+	return nil
+}
+
+// pumpWrites advances one key's SN-assignment FIFO: while the oldest
+// pending write has finished its embedded read, assign it the next
+// sequence number and broadcast its WRITE (Figure 6 lines 02-04). Later
+// writes whose reads finished early wait for the head — that is the one
+// serialization pipelining keeps, and it is local bookkeeping only (no
+// messages, no waits).
+func (n *Node) pumpWrites(k core.RegisterID) {
+	q := n.writeQ[k]
+	for len(q) > 0 {
+		id := q[0]
+		o, ok := n.ops.Get(id)
+		if !ok {
+			q = q[1:]
+			continue
+		}
+		if !o.writeReadDone {
+			break
+		}
+		// Line 02: sn_i := sn_i + 1; register_i := v — building on the
+		// local copy, which already reflects every earlier pipelined
+		// write on this key.
 		next := core.VersionedValue{Val: o.writeVal, SN: n.value(k).SN + 1}
 		n.vals.Store(k, next)
 		o.writeSN = next.SN
 		// Line 03: write_ack := ∅.
 		o.writeAck = make(map[core.ProcessID]bool)
 		o.writeBroadcast = true
+		n.ackRoute[ackKey{reg: k, sn: next.SN}] = id
 		// Line 04: broadcast WRITE(i, ⟨v, sn⟩).
-		n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k})
-		// Line 05 is event-driven (checkWrite on every ACK).
-	})
-	return nil
+		n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
+		q = q[1:]
+	}
+	if len(q) == 0 {
+		delete(n.writeQ, k)
+	} else {
+		n.writeQ[k] = q
+	}
 }
 
-// checkWrite completes key k's write once a majority of ACKs arrived
-// (Figure 6 line 05).
-func (n *Node) checkWrite(o *kop) {
-	if !o.writing || !o.writeBroadcast || len(o.writeAck) < n.majority() {
+// checkWrite completes a write once a majority of ACKs arrived (Figure 6
+// line 05).
+func (n *Node) checkWrite(id core.OpID, o *op) {
+	if !o.writeBroadcast || len(o.writeAck) < n.majority() {
 		return
 	}
-	o.writing = false
-	o.writeBroadcast = false
-	o.writeAck = nil
-	done := o.writeDone
-	o.writeDone = nil
-	if done != nil {
-		done()
+	delete(n.ackRoute, ackKey{reg: o.reg, sn: o.writeSN})
+	n.ops.Finish(id)
+	if o.writeDone != nil {
+		o.writeDone(core.VersionedValue{Val: o.writeVal, SN: o.writeSN})
 	}
 }
 
@@ -437,19 +495,6 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 	}
 }
 
-// readingKeys returns the keys with an in-flight read, ascending — the
-// deterministic iteration order DL_PREV fan-out needs.
-func (n *Node) readingKeys() []core.RegisterID {
-	var ks []core.RegisterID
-	for k, o := range n.ops {
-		if o.reading {
-			ks = append(ks, k)
-		}
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	return ks
-}
-
 // handleInquiry is Figure 4 lines 12-17.
 func (n *Node) handleInquiry(m core.InquiryMsg) {
 	if n.active {
@@ -459,13 +504,19 @@ func (n *Node) handleInquiry(m core.InquiryMsg) {
 		// Line 14: a reading process also asks the newcomer to answer its
 		// in-flight reads once active — the newcomer was not in those READ
 		// broadcasts' snapshots and would otherwise never reply. One
-		// DL_PREV per pending key, each carrying OUR pending request id
-		// (that key's read_sn), which is what the newcomer must echo for
-		// line 19's match to succeed.
+		// DL_PREV per operation in its read phase (client reads and
+		// writes' embedded reads alike), each carrying OUR pending
+		// request id, which is what the newcomer must echo for line 19's
+		// match to succeed. Ascending OpID keeps the fan-out order
+		// deterministic.
 		if !n.opts.DisableDLPrev {
-			for _, k := range n.readingKeys() {
+			for _, id := range n.ops.IDs() {
+				o, ok := n.ops.Get(id)
+				if !ok || !o.reading {
+					continue
+				}
 				n.stats.DLPrevSent++
-				n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: n.ops[k].readRSN, Reg: k})
+				n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: core.ReadSeq(id), Reg: o.reg, Op: id})
 			}
 		}
 		return
@@ -477,7 +528,7 @@ func (n *Node) handleInquiry(m core.InquiryMsg) {
 	// replies, which is what makes join live (Lemma 5).
 	if !n.opts.DisableDLPrev {
 		n.stats.DLPrevSent++
-		n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: core.JoinReadSeq})
+		n.env.Send(m.From, core.DLPrevMsg{From: n.env.ID(), RSN: core.JoinReadSeq, Op: core.NoOp})
 	}
 }
 
@@ -486,7 +537,7 @@ func (n *Node) handleRead(m core.ReadMsg) {
 	if n.active {
 		// Line 09.
 		n.stats.RepliesSent++
-		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.value(m.Reg), RSN: m.RSN, Reg: m.Reg})
+		n.env.Send(m.From, core.ReplyMsg{From: n.env.ID(), Value: n.value(m.Reg), RSN: m.RSN, Reg: m.Reg, Op: m.Op})
 		return
 	}
 	// Line 10: answer at join completion.
@@ -494,19 +545,19 @@ func (n *Node) handleRead(m core.ReadMsg) {
 }
 
 // handleReply is Figure 4 lines 18-21, routing the reply to the open
-// request its r_sn names: the join, or one key's in-flight read.
+// operation whose id it echoes: the join (NoOp), or any in-flight read
+// phase.
 func (n *Node) handleReply(m core.ReplyMsg) {
-	if m.RSN == core.JoinReadSeq {
+	if m.Op == core.NoOp {
 		n.handleJoinReply(m)
 		return
 	}
-	k, open := n.rsnReg[m.RSN]
-	if !open {
+	o, open := n.ops.Get(m.Op)
+	if !open || !o.reading || o.reg != m.Reg {
 		// Line 19: only replies to an open request count.
 		n.stats.StaleRepliesSeen++
 		return
 	}
-	o := n.ops[k]
 	// Line 20: record the reply and acknowledge it. The ACK carries the
 	// register sequence number from the reply (not r_sn): if the replier
 	// is a writer with an in-flight write on this key, this ACK is how
@@ -518,17 +569,17 @@ func (n *Node) handleReply(m core.ReplyMsg) {
 	}
 	n.ack(m.From, m.Reg, m.Value.SN, m.RSN)
 	// Line 04 of Figure 5: re-check the quorum.
-	n.checkRead(k, o)
+	n.checkRead(m.Op, o)
 }
 
 // handleJoinReply consumes a snapshot reply to our join inquiry: merge
 // every carried key, count the replier, acknowledge, re-check the quorum.
-// After the join completed, r_sn 0 stays "open" until the first read
+// After the join completed, op 0 stays "open" until the first operation
 // bumps the counter (seed parity): such late snapshots are acknowledged —
 // their ACKs may feed in-flight write quorums (Lemma 7) — but no longer
 // merged, because after the join only WRITEs mutate register state.
 func (n *Node) handleJoinReply(m core.ReplyMsg) {
-	if !n.joining && n.readSN != core.JoinReadSeq {
+	if !n.joining && n.ops.LastIssued() != core.NoOp {
 		n.stats.StaleRepliesSeen++
 		return
 	}
@@ -550,13 +601,15 @@ func (n *Node) handleJoinReply(m core.ReplyMsg) {
 	n.checkJoin()
 }
 
-// ack acknowledges one reply entry (see handleReply's Lemma 7 note).
+// ack acknowledges one reply entry (see handleReply's Lemma 7 note). It
+// carries no OpID: the sender cannot know which of the replier's writes —
+// if any — it feeds; the writer routes it by ⟨Reg, SN⟩.
 func (n *Node) ack(to core.ProcessID, reg core.RegisterID, sn core.SeqNum, rsn core.ReadSeq) {
 	if n.opts.LiteralAckRSN {
 		sn = core.SeqNum(rsn)
 	}
 	n.stats.AcksSent++
-	n.env.Send(to, core.AckMsg{From: n.env.ID(), SN: sn, Reg: reg})
+	n.env.Send(to, core.AckMsg{From: n.env.ID(), SN: sn, Reg: reg, Op: core.NoOp})
 }
 
 // handleWrite is Figure 6 lines 06-08 — runs at any process, active or
@@ -565,23 +618,31 @@ func (n *Node) handleWrite(m core.WriteMsg) {
 	// Line 07.
 	n.merge(m.Reg, m.Value)
 	// Line 08: "In all cases, it sends back an ACK" — even for stale
-	// writes, so a slow writer can still terminate.
+	// writes, so a slow writer can still terminate. The ACK echoes the
+	// WRITE's operation id, routing it straight to the write it answers.
 	n.stats.AcksSent++
-	n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: m.Value.SN, Reg: m.Reg})
+	n.env.Send(m.From, core.AckMsg{From: n.env.ID(), SN: m.Value.SN, Reg: m.Reg, Op: m.Op})
 }
 
-// handleAck is Figure 6 lines 09-10. ACKs only count once the key's WRITE
-// is out (see the writeBroadcast comment), and only toward the key they
-// name.
+// handleAck is Figure 6 lines 09-10: route by echoed OpID when present
+// (direct WRITE acks), else by the ⟨reg, sn⟩ index (Lemma-7 reply-acks).
+// ACKs only count once the write's WRITE is out (writeBroadcast), and
+// only toward the write whose ⟨reg, sn⟩ they name.
 func (n *Node) handleAck(m core.AckMsg) {
-	o, ok := n.ops[m.Reg]
-	if !ok {
+	id := m.Op
+	if id == core.NoOp {
+		var ok bool
+		id, ok = n.ackRoute[ackKey{reg: m.Reg, sn: m.SN}]
+		if !ok {
+			return
+		}
+	}
+	o, ok := n.ops.Get(id)
+	if !ok || !o.isWrite || !o.writeBroadcast || o.reg != m.Reg || o.writeSN != m.SN {
 		return
 	}
-	if o.writing && o.writeBroadcast && m.SN == o.writeSN {
-		o.writeAck[m.From] = true
-		n.checkWrite(o)
-	}
+	o.writeAck[m.From] = true
+	n.checkWrite(id, o)
 }
 
 // handleDLPrev is Figure 4 line 22.

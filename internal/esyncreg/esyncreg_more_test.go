@@ -31,7 +31,7 @@ func TestSameReplierUpgradesWithinOneRead(t *testing.T) {
 	// the quorum, and the max value wins.
 	n.Deliver(1, reply(1, 10, 1, 1))
 	n.Deliver(1, reply(1, 90, 9, 1))
-	rr := n.ops[core.DefaultRegister].readReplies
+	rr := opOn(n, core.DefaultRegister).readReplies
 	if len(rr) != 1 {
 		t.Fatalf("one replier counted %d times", len(rr))
 	}
@@ -70,12 +70,12 @@ func TestWriteAckQuorumCountsDistinctProcesses(t *testing.T) {
 	n.Deliver(1, core.AckMsg{From: 1, SN: 1})
 	n.Deliver(1, core.AckMsg{From: 1, SN: 1})
 	n.Deliver(1, core.AckMsg{From: 1, SN: 1})
-	if !n.ops[core.DefaultRegister].writing {
+	if opOn(n, core.DefaultRegister) == nil {
 		t.Fatal("triplicate ACKs from one process completed the write")
 	}
 	n.Deliver(2, core.AckMsg{From: 2, SN: 1})
 	n.Deliver(3, core.AckMsg{From: 3, SN: 1})
-	if n.ops[core.DefaultRegister].writing {
+	if opOn(n, core.DefaultRegister) != nil {
 		t.Fatal("write did not complete on a true majority")
 	}
 }

@@ -23,7 +23,7 @@ func TestCloseLeavesNoGoroutines(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := c.IDs()
-	if err := c.WriteKey(ids[0], 3, 9, opTimeout); err != nil {
+	if _, err := c.WriteKey(ids[0], 3, 9, opTimeout); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	if _, err := c.ReadKey(ids[1], 3, opTimeout); err != nil {

@@ -225,21 +225,24 @@ func (c *Cluster) ReadKey(id core.ProcessID, reg core.RegisterID, timeout time.D
 }
 
 // Write runs a write of register 0 on the process and waits for it to
-// return ok.
-func (c *Cluster) Write(id core.ProcessID, v core.Value, timeout time.Duration) error {
+// return ok, reporting the ⟨v, sn⟩ it stored.
+func (c *Cluster) Write(id core.ProcessID, v core.Value, timeout time.Duration) (core.VersionedValue, error) {
 	return c.WriteKey(id, core.DefaultRegister, v, timeout)
 }
 
-// WriteKey runs a write of one register on the process and waits for it
-// to return ok.
-func (c *Cluster) WriteKey(id core.ProcessID, reg core.RegisterID, v core.Value, timeout time.Duration) error {
+// WriteKey runs a write of one register on the process, waits for it to
+// return ok, and reports the exact ⟨v, sn⟩ it stored (see
+// nodeops.WriteKey). Safe to call from many goroutines at once: each call
+// is its own pipelined operation on the node.
+func (c *Cluster) WriteKey(id core.ProcessID, reg core.RegisterID, v core.Value, timeout time.Duration) (core.VersionedValue, error) {
 	return nodeops.WriteKey(c.invoker(id), reg, v, timeout)
 }
 
 // WriteBatch stores several keys' values via one process and waits for all
-// of them: one broadcast for core.BatchWriter protocols, concurrent
-// per-key writes otherwise. Entries must be sorted by Reg, no duplicates.
-func (c *Cluster) WriteBatch(id core.ProcessID, entries []core.KeyedWrite, timeout time.Duration) error {
+// of them: one broadcast for batching protocols, concurrent per-key
+// writes otherwise. It reports the stored ⟨v, sn⟩ per entry. Entries must
+// be sorted by Reg, no duplicates.
+func (c *Cluster) WriteBatch(id core.ProcessID, entries []core.KeyedWrite, timeout time.Duration) ([]core.KeyedValue, error) {
 	return nodeops.WriteBatch(c.invoker(id), entries, timeout)
 }
 

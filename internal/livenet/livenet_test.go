@@ -67,7 +67,7 @@ func TestSyncWriteReadLive(t *testing.T) {
 	}
 	defer c.Close()
 	ids := c.IDs()
-	if err := c.Write(ids[0], 42, opTimeout); err != nil {
+	if _, err := c.Write(ids[0], 42, opTimeout); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	v := pollRead(t, c, ids[1], 1)
@@ -83,7 +83,7 @@ func TestESyncQuorumOpsLive(t *testing.T) {
 	}
 	defer c.Close()
 	ids := c.IDs()
-	if err := c.Write(ids[0], 7, opTimeout); err != nil {
+	if _, err := c.Write(ids[0], 7, opTimeout); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	v, err := c.Read(ids[2], opTimeout)
@@ -131,7 +131,7 @@ func TestJoinerAdoptsWrittenValueLive(t *testing.T) {
 	}
 	defer c.Close()
 	ids := c.IDs()
-	if err := c.Write(ids[0], 9, opTimeout); err != nil {
+	if _, err := c.Write(ids[0], 9, opTimeout); err != nil {
 		t.Fatal(err)
 	}
 	id, err := c.Spawn()
@@ -170,7 +170,7 @@ func TestKillSuppressesProcess(t *testing.T) {
 		t.Fatalf("read on departed = %v, want ErrAbsent", err)
 	}
 	// The survivors still function.
-	if err := c.Write(ids[1], 5, opTimeout); err != nil {
+	if _, err := c.Write(ids[1], 5, opTimeout); err != nil {
 		t.Fatalf("write after kill: %v", err)
 	}
 }
@@ -185,7 +185,7 @@ func TestChurnWhileOperatingLive(t *testing.T) {
 	writer := ids[0]
 	// Replace two processes while writing continuously.
 	for round := 0; round < 5; round++ {
-		if err := c.Write(writer, core.Value(100+round), opTimeout); err != nil {
+		if _, err := c.Write(writer, core.Value(100+round), opTimeout); err != nil {
 			t.Fatalf("write %d: %v", round, err)
 		}
 		if round == 1 || round == 3 {

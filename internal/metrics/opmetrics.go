@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram buckets for operation latency, in seconds: sub-millisecond to
+// ~8s in powers of two, then +Inf. Fixed bounds keep the exposition
+// format stable and the hot path allocation-free.
+var latencyBounds = []float64{
+	0.0005, 0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064,
+	0.128, 0.256, 0.512, 1.024, 2.048, 4.096, 8.192,
+}
+
+// LatencyHist is a fixed-bucket latency histogram in the Prometheus
+// cumulative style. The zero value is NOT usable; histograms are created
+// by OpMetrics.
+type LatencyHist struct {
+	counts []uint64 // one per bound, non-cumulative; rendered cumulative
+	sum    float64
+	count  uint64
+}
+
+func newLatencyHist() *LatencyHist {
+	return &LatencyHist{counts: make([]uint64, len(latencyBounds)+1)}
+}
+
+// observe records one latency (callers hold the owning OpMetrics lock).
+func (h *LatencyHist) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// opGauge identifies one in-flight gauge series: operation kind × key.
+type opGauge struct {
+	op  string
+	key int64
+}
+
+// OpMetrics aggregates a serving node's client-operation metrics: an
+// in-flight gauge per ⟨operation, key⟩ and a latency histogram per
+// operation kind. It is safe for concurrent use — HTTP handlers call
+// Begin from arbitrary goroutines — and renders itself in the Prometheus
+// text exposition format.
+type OpMetrics struct {
+	mu       sync.Mutex
+	inflight map[opGauge]int
+	hists    map[string]*LatencyHist
+	now      func() time.Time // injectable clock for tests
+}
+
+// NewOpMetrics builds an empty registry.
+func NewOpMetrics() *OpMetrics {
+	return &OpMetrics{
+		inflight: make(map[opGauge]int),
+		hists:    make(map[string]*LatencyHist),
+		now:      time.Now,
+	}
+}
+
+// Begin marks one operation of the given kind on the given key as in
+// flight and returns the completion func: call it exactly once when the
+// operation responds (success or failure) to decrement the gauge and
+// record the latency.
+func (m *OpMetrics) Begin(op string, key int64) func() {
+	g := opGauge{op: op, key: key}
+	m.mu.Lock()
+	m.inflight[g]++
+	start := m.now()
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.inflight[g]--; m.inflight[g] <= 0 {
+			delete(m.inflight, g) // keep the exposition bounded by live series
+		}
+		h, ok := m.hists[op]
+		if !ok {
+			h = newLatencyHist()
+			m.hists[op] = h
+		}
+		h.observe(m.now().Sub(start).Seconds())
+	}
+}
+
+// InFlight returns the current gauge for one ⟨operation, key⟩ series.
+func (m *OpMetrics) InFlight(op string, key int64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inflight[opGauge{op: op, key: key}]
+}
+
+// Hist returns the latency histogram for one operation kind (nil if that
+// kind never completed an operation).
+func (m *OpMetrics) Hist(op string) *LatencyHist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hists[op]
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (m *OpMetrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP regserve_op_inflight Client operations currently in flight, per operation kind and register key.")
+	fmt.Fprintln(w, "# TYPE regserve_op_inflight gauge")
+	gauges := make([]opGauge, 0, len(m.inflight))
+	for g := range m.inflight {
+		gauges = append(gauges, g)
+	}
+	sort.Slice(gauges, func(i, j int) bool {
+		if gauges[i].op != gauges[j].op {
+			return gauges[i].op < gauges[j].op
+		}
+		return gauges[i].key < gauges[j].key
+	})
+	for _, g := range gauges {
+		fmt.Fprintf(w, "regserve_op_inflight{op=%q,key=\"%d\"} %d\n", g.op, g.key, m.inflight[g])
+	}
+
+	fmt.Fprintln(w, "# HELP regserve_op_seconds Client operation latency, per operation kind.")
+	fmt.Fprintln(w, "# TYPE regserve_op_seconds histogram")
+	kinds := make([]string, 0, len(m.hists))
+	for k := range m.hists {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		h := m.hists[k]
+		cum := uint64(0)
+		for i, bound := range latencyBounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "regserve_op_seconds_bucket{op=%q,le=\"%s\"} %d\n", k, trimFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "regserve_op_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", k, h.count)
+		fmt.Fprintf(w, "regserve_op_seconds_sum{op=%q} %g\n", k, h.sum)
+		fmt.Fprintf(w, "regserve_op_seconds_count{op=%q} %d\n", k, h.count)
+	}
+}
+
+// trimFloat renders a bucket bound without trailing zeros (0.0005, 1.024).
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

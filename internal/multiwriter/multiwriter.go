@@ -112,8 +112,11 @@ var (
 	_ core.Joiner           = (*Node)(nil)
 	_ core.KeyedLocalReader = (*Node)(nil)
 	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.SNWriter         = (*Node)(nil)
 	_ core.BatchWriter      = (*Node)(nil)
+	_ core.SNBatchWriter    = (*Node)(nil)
 	_ core.KeyedSnapshotter = (*Node)(nil)
+	_ core.OpAccountant     = (*Node)(nil)
 )
 
 // Start implements core.Node.
@@ -142,6 +145,10 @@ func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue { return n.reg
 
 // Keys implements core.KeyedSnapshotter.
 func (n *Node) Keys() []core.RegisterID { return n.reg.Keys() }
+
+// PendingOps implements core.OpAccountant (the register's op table; token
+// claims are not register operations).
+func (n *Node) PendingOps() int { return n.reg.PendingOps() }
 
 // Stats returns token counters.
 func (n *Node) Stats() Stats { return n.stats }
@@ -254,13 +261,19 @@ func (n *Node) Release() {
 }
 
 // Transfer hands the token directly to a successor. The caller must hold
-// the token. The successor assumes it on receipt; until then the current
-// holder has already stepped down (writes in flight have completed — the
-// register serializes them — so sequence-number continuity is preserved:
-// any completed write propagated within δ < token transit + claim times).
+// the token and must first drain its own pipeline (PendingOps() == 0):
+// a write still in flight at transfer time would race the successor's
+// first write for a sequence number — two values under one sn, a
+// permanent split — so an undrained Transfer is refused with
+// ErrOpInProgress. A completed write's value propagated within δ <
+// token transit + claim times, so continuity is preserved for drained
+// holders.
 func (n *Node) Transfer(to core.ProcessID) error {
 	if !n.holder {
 		return core.ErrNotActive
+	}
+	if n.reg.PendingOps() > 0 {
+		return core.ErrOpInProgress
 	}
 	n.holder = false
 	n.stats.Transfers++
@@ -279,11 +292,21 @@ func (n *Node) Write(v core.Value, done func()) error {
 // WriteKey implements core.KeyedWriter. One token guards the whole
 // namespace: the holder may write any key (per-key tokens would shrink
 // contention further; the coarse token keeps the §7 mechanism intact).
+// The holder's writes pipeline exactly like the underlying register's —
+// the token excludes OTHER writers, not this node's own in-flight ops.
 func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
 	if !n.holder {
 		return ErrNotHolder
 	}
 	return n.reg.WriteKey(k, v, done)
+}
+
+// WriteKeySN implements core.SNWriter, token-gated like WriteKey.
+func (n *Node) WriteKeySN(k core.RegisterID, v core.Value, done func(core.VersionedValue)) error {
+	if !n.holder {
+		return ErrNotHolder
+	}
+	return n.reg.WriteKeySN(k, v, done)
 }
 
 // WriteBatch implements core.BatchWriter, token-gated like WriteKey.
@@ -292,6 +315,14 @@ func (n *Node) WriteBatch(entries []core.KeyedWrite, done func()) error {
 		return ErrNotHolder
 	}
 	return n.reg.WriteBatch(entries, done)
+}
+
+// WriteBatchSN implements core.SNBatchWriter, token-gated like WriteKey.
+func (n *Node) WriteBatchSN(entries []core.KeyedWrite, done func([]core.KeyedValue)) error {
+	if !n.holder {
+		return ErrNotHolder
+	}
+	return n.reg.WriteBatchSN(entries, done)
 }
 
 // Deliver implements core.Node: token traffic is handled here, the rest

@@ -180,6 +180,35 @@ func TestReleaseMakesTokenClaimable(t *testing.T) {
 	}
 }
 
+// TestTransferRefusedWhileWritesInFlight: a holder must drain its own
+// pipeline before handing the token over — an in-flight write would race
+// the successor's first write for a sequence number.
+func TestTransferRefusedWhileWritesInFlight(t *testing.T) {
+	sys := newSystem(t, 5, 0)
+	a := mwNode(t, sys, 1)
+	if err := a.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFor(3 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteKey(1, 42, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Transfer(3); !errors.Is(err, core.ErrOpInProgress) {
+		t.Fatalf("Transfer with a write in flight = %v, want ErrOpInProgress", err)
+	}
+	if err := sys.RunFor(2 * delta); err != nil { // the write's δ elapses
+		t.Fatal(err)
+	}
+	if got := a.PendingOps(); got != 0 {
+		t.Fatalf("PendingOps after drain = %d", got)
+	}
+	if err := a.Transfer(3); err != nil {
+		t.Fatalf("Transfer after drain = %v, want nil", err)
+	}
+}
+
 func TestTransferHandsTokenDirectly(t *testing.T) {
 	sys := newSystem(t, 5, 0)
 	a := mwNode(t, sys, 1)

@@ -91,7 +91,7 @@ func TestChaosConnectionDropsESync(t *testing.T) {
 			mu.Lock()
 			written[k] = append(written[k], v)
 			mu.Unlock()
-			err := ts[0].WriteKey(k, v, opTO)
+			_, err := ts[0].WriteKey(k, v, opTO)
 			switch {
 			case err == nil:
 				oks.Add(1)
@@ -168,7 +168,7 @@ func TestChaosConnectionDropsESync(t *testing.T) {
 	// write and a cross-node read on a fresh key succeed within one
 	// generous timeout.
 	k := core.RegisterID(1 << 20)
-	if err := ts[0].WriteKey(k, 777, 10*time.Second); err != nil {
+	if _, err := ts[0].WriteKey(k, 777, 10*time.Second); err != nil {
 		t.Fatalf("post-chaos write did not recover: %v", err)
 	}
 	v, err := ts[2].ReadKey(k, 10*time.Second)
@@ -217,7 +217,7 @@ func TestChaosDropsSync(t *testing.T) {
 	var v core.Value
 	for end := time.Now().Add(duration); time.Now().Before(end); {
 		v++
-		if err := ts[0].WriteKey(3, v, 5*time.Second); err != nil {
+		if _, err := ts[0].WriteKey(3, v, 5*time.Second); err != nil {
 			t.Fatalf("sync write %d: %v", v, err)
 		}
 		if _, err := ts[0].ReadKey(3, 5*time.Second); err != nil {

@@ -406,13 +406,16 @@ func (t *Transport) ReadKey(reg core.RegisterID, timeout time.Duration) (core.Ve
 	return nodeops.ReadKey(t.invoker(), reg, timeout)
 }
 
-// WriteKey runs a write of one register and waits for it to return ok.
-func (t *Transport) WriteKey(reg core.RegisterID, v core.Value, timeout time.Duration) error {
+// WriteKey runs a write of one register, waits for it to return ok, and
+// reports the exact ⟨v, sn⟩ it stored. Safe for concurrent callers: each
+// call pipelines as its own operation on the node.
+func (t *Transport) WriteKey(reg core.RegisterID, v core.Value, timeout time.Duration) (core.VersionedValue, error) {
 	return nodeops.WriteKey(t.invoker(), reg, v, timeout)
 }
 
-// WriteBatch stores several keys' values and waits for all of them.
-func (t *Transport) WriteBatch(entries []core.KeyedWrite, timeout time.Duration) error {
+// WriteBatch stores several keys' values, waits for all of them, and
+// reports the stored ⟨v, sn⟩ per entry.
+func (t *Transport) WriteBatch(entries []core.KeyedWrite, timeout time.Duration) ([]core.KeyedValue, error) {
 	return nodeops.WriteBatch(t.invoker(), entries, timeout)
 }
 

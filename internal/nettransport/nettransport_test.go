@@ -69,7 +69,7 @@ func TestSyncWriteReadOverTCP(t *testing.T) {
 	for _, tr := range ts {
 		waitPeerCount(t, tr, 2)
 	}
-	if err := ts[0].WriteKey(core.DefaultRegister, 42, opTimeout); err != nil {
+	if _, err := ts[0].WriteKey(core.DefaultRegister, 42, opTimeout); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	// The write returned after δ; every process holds the value.
@@ -90,7 +90,7 @@ func TestESyncQuorumOpsOverTCP(t *testing.T) {
 		waitPeerCount(t, tr, 2)
 	}
 	for i := 1; i <= 5; i++ {
-		if err := ts[0].WriteKey(7, core.Value(100+i), opTimeout); err != nil {
+		if _, err := ts[0].WriteKey(7, core.Value(100+i), opTimeout); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
 	}
@@ -120,10 +120,10 @@ func TestJoinByDialing(t *testing.T) {
 			for _, tr := range ts {
 				waitPeerCount(t, tr, 2)
 			}
-			if err := ts[0].WriteKey(core.DefaultRegister, 7, opTimeout); err != nil {
+			if _, err := ts[0].WriteKey(core.DefaultRegister, 7, opTimeout); err != nil {
 				t.Fatalf("write: %v", err)
 			}
-			if err := ts[0].WriteKey(33, 99, opTimeout); err != nil {
+			if _, err := ts[0].WriteKey(33, 99, opTimeout); err != nil {
 				t.Fatalf("write key 33: %v", err)
 			}
 			joiner, err := New(Config{
@@ -221,7 +221,7 @@ func TestWriteBatchOverTCP(t *testing.T) {
 		waitPeerCount(t, tr, 2)
 	}
 	entries := []core.KeyedWrite{{Reg: 1, Val: 11}, {Reg: 2, Val: 22}, {Reg: 3, Val: 33}}
-	if err := ts[0].WriteBatch(entries, opTimeout); err != nil {
+	if _, err := ts[0].WriteBatch(entries, opTimeout); err != nil {
 		t.Fatalf("write batch: %v", err)
 	}
 	for _, e := range entries {
@@ -241,7 +241,7 @@ func TestSendToSelfLoopsBack(t *testing.T) {
 	ts := startCluster(t, 1, esyncreg.Factory(esyncreg.Options{}), 5)
 	// n=1: the majority is 1, satisfied purely by the node's own reply —
 	// the operation only completes if self-send loops back.
-	if err := ts[0].WriteKey(0, 5, opTimeout); err != nil {
+	if _, err := ts[0].WriteKey(0, 5, opTimeout); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	v, err := ts[0].ReadKey(0, opTimeout)

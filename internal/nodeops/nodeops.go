@@ -11,6 +11,12 @@
 // on the node's single loop goroutine; every channel the closures send to
 // is buffered, so a node completing an operation after its caller timed
 // out never blocks the loop.
+//
+// Every function here may be called from any number of goroutines at
+// once: each call is its own operation with its own completion channel,
+// and the protocols pipeline them (one op-table entry per call). A caller
+// that times out abandons only its wait; the node-side operation still
+// runs to completion and reclaims its table entry.
 package nodeops
 
 import (
@@ -85,14 +91,24 @@ func ReadKey(inv Invoke, reg core.RegisterID, timeout time.Duration) (core.Versi
 	}
 }
 
-// WriteKey runs a write of one register and waits for it to return ok.
-func WriteKey(inv Invoke, reg core.RegisterID, v core.Value, timeout time.Duration) error {
-	done := make(chan struct{}, 1)
+// WriteKey runs a write of one register, waits for it to return ok, and
+// reports the exact versioned value it stored. The value matters to
+// pipelined callers: with several writes to one key in flight, a snapshot
+// taken after completion may reflect a LATER write, so protocols
+// implementing core.SNWriter hand back this write's own ⟨v, sn⟩. For
+// legacy writers without it the value is ⊥ (sn unknown — such protocols
+// predate pipelining and callers fall back to a snapshot).
+func WriteKey(inv Invoke, reg core.RegisterID, v core.Value, timeout time.Duration) (core.VersionedValue, error) {
+	done := make(chan core.VersionedValue, 1)
 	errc := make(chan error, 1)
 	err := inv(func(n core.Node) {
 		switch w := n.(type) {
+		case core.SNWriter:
+			if err := w.WriteKeySN(reg, v, func(vv core.VersionedValue) { done <- vv }); err != nil {
+				errc <- err
+			}
 		case core.KeyedWriter:
-			if err := w.WriteKey(reg, v, func() { done <- struct{}{} }); err != nil {
+			if err := w.WriteKey(reg, v, func() { done <- core.Bottom() }); err != nil {
 				errc <- err
 			}
 		case core.Writer:
@@ -100,7 +116,7 @@ func WriteKey(inv Invoke, reg core.RegisterID, v core.Value, timeout time.Durati
 				errc <- fmt.Errorf("nodeops: node %T cannot write %v", n, reg)
 				return
 			}
-			if err := w.Write(v, func() { done <- struct{}{} }); err != nil {
+			if err := w.Write(v, func() { done <- core.Bottom() }); err != nil {
 				errc <- err
 			}
 		default:
@@ -108,76 +124,103 @@ func WriteKey(inv Invoke, reg core.RegisterID, v core.Value, timeout time.Durati
 		}
 	})
 	if err != nil {
-		return err
+		return core.Bottom(), err
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case <-done:
-		return nil
+	case vv := <-done:
+		return vv, nil
 	case err := <-errc:
-		return err
+		return core.Bottom(), err
 	case <-timer.C:
-		return ErrTimeout
+		return core.Bottom(), ErrTimeout
 	}
 }
 
-// WriteBatch stores several keys' values and waits for all of them to
-// return ok. Protocols implementing core.BatchWriter get the one-broadcast
-// fast path; any other keyed writer is driven with one WriteKey per entry,
-// all in flight concurrently (writes to distinct keys may overlap), so the
-// caller-facing semantics are uniform across protocols. Entries must be
-// sorted by Reg with no duplicates.
-func WriteBatch(inv Invoke, entries []core.KeyedWrite, timeout time.Duration) error {
+// WriteBatch stores several keys' values, waits for all of them to
+// return ok, and reports the exact ⟨v, sn⟩ stored per entry (in entry
+// order; ⊥ values for protocols predating core.SNBatchWriter/SNWriter).
+// Protocols implementing a batch interface get the one-broadcast fast
+// path; any other keyed writer is driven with one write per entry, all in
+// flight concurrently, so the caller-facing semantics are uniform across
+// protocols. Entries must be sorted by Reg with no duplicates.
+func WriteBatch(inv Invoke, entries []core.KeyedWrite, timeout time.Duration) ([]core.KeyedValue, error) {
 	if len(entries) == 0 {
-		return fmt.Errorf("nodeops: empty batch")
+		return nil, fmt.Errorf("nodeops: empty batch")
 	}
 	for i := 1; i < len(entries); i++ {
 		if entries[i-1].Reg >= entries[i].Reg {
-			return fmt.Errorf("nodeops: batch entries not sorted/unique at %v", entries[i].Reg)
+			return nil, fmt.Errorf("nodeops: batch entries not sorted/unique at %v", entries[i].Reg)
 		}
 	}
-	done := make(chan struct{}, 1)
+	done := make(chan []core.KeyedValue, 1)
 	errc := make(chan error, 1)
 	err := inv(func(n core.Node) {
+		if bw, ok := n.(core.SNBatchWriter); ok {
+			if err := bw.WriteBatchSN(entries, func(kvs []core.KeyedValue) { done <- kvs }); err != nil {
+				errc <- err
+			}
+			return
+		}
 		if bw, ok := n.(core.BatchWriter); ok {
-			if err := bw.WriteBatch(entries, func() { done <- struct{}{} }); err != nil {
+			if err := bw.WriteBatch(entries, func() { done <- nil }); err != nil {
 				errc <- err
 			}
 			return
 		}
-		kw, ok := n.(core.KeyedWriter)
-		if !ok {
-			errc <- fmt.Errorf("nodeops: node %T cannot write batches", n)
-			return
-		}
-		// remaining is only touched by per-key done callbacks, which all run
-		// on the node's loop goroutine — no lock needed.
+		// Per-entry fallback. out and remaining are only touched by per-key
+		// done callbacks, which all run on the node's loop goroutine — no
+		// lock needed.
+		out := make([]core.KeyedValue, len(entries))
 		remaining := len(entries)
-		for _, e := range entries {
-			if err := kw.WriteKey(e.Reg, e.Val, func() {
-				remaining--
-				if remaining == 0 {
-					done <- struct{}{}
-				}
-			}); err != nil {
-				errc <- err
-				return
+		finishOne := func(i int, vv core.VersionedValue) {
+			out[i] = core.KeyedValue{Reg: entries[i].Reg, Value: vv}
+			remaining--
+			if remaining == 0 {
+				done <- out
 			}
+		}
+		switch kw := n.(type) {
+		case core.SNWriter:
+			for i, e := range entries {
+				i := i
+				if err := kw.WriteKeySN(e.Reg, e.Val, func(vv core.VersionedValue) { finishOne(i, vv) }); err != nil {
+					errc <- err
+					return
+				}
+			}
+		case core.KeyedWriter:
+			for i, e := range entries {
+				i := i
+				if err := kw.WriteKey(e.Reg, e.Val, func() { finishOne(i, core.Bottom()) }); err != nil {
+					errc <- err
+					return
+				}
+			}
+		default:
+			errc <- fmt.Errorf("nodeops: node %T cannot write batches", n)
 		}
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case <-done:
-		return nil
+	case kvs := <-done:
+		if kvs == nil {
+			// Legacy batch writer: values unknown; report ⊥ per entry.
+			kvs = make([]core.KeyedValue, len(entries))
+			for i, e := range entries {
+				kvs[i] = core.KeyedValue{Reg: e.Reg, Value: core.Bottom()}
+			}
+		}
+		return kvs, nil
 	case err := <-errc:
-		return err
+		return nil, err
 	case <-timer.C:
-		return ErrTimeout
+		return nil, ErrTimeout
 	}
 }
 

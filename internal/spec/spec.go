@@ -6,9 +6,15 @@
 // would also pass for an atomic register (no new/old inversions), and
 // whether it at least satisfies safety in Lamport's "safe register" sense.
 //
-// The checkers assume the paper's write discipline: writes are not
-// concurrent with one another (single writer, or coordinated writers).
-// ValidateWrites verifies the recorded history actually respects it.
+// The checkers assume the paper's write discipline per key ACROSS
+// processes: two different processes never write one register
+// concurrently. ONE process may pipeline several writes to a key (the
+// operation-table protocols assign their sequence numbers in invocation
+// order), so same-process overlap is legal. ValidateWrites verifies the
+// recorded history respects exactly that. Multiple outstanding
+// operations per process — reads and writes alike — are ordinary
+// histories here: every checker already reasons per key over intervals,
+// so pipelining adds concurrency, not new machinery.
 package spec
 
 import (
@@ -262,33 +268,81 @@ func (h *History) writesByKey() map[core.RegisterID][]*Op {
 	return out
 }
 
-// ValidateWrites verifies the history respects the paper's write
-// discipline PER KEY: no two writes to the same register overlap in time,
-// and each register's sequence numbers increase with real-time order.
-// (Writes to distinct registers may overlap freely — they are independent
-// objects.) A violation here means the workload (not the protocol) is
-// broken, so it is an error, not a Violation.
+// ValidateWrites verifies the history respects the write discipline PER
+// KEY: writes to one register from DIFFERENT processes never overlap in
+// time, and sequence numbers respect real-time order (a write starting
+// after another completed carries a larger sn). Writes from ONE process
+// may overlap — that is pipelining. Overlapping writes are concurrent, so
+// no order is imposed between their sns (a client-observed history can
+// legitimately see them settle in either order: two pipelined requests
+// may arrive at the node reversed); they must merely be distinct — the
+// node assigns each write its own sn. The node-side guarantee that sns
+// follow ARRIVAL order is asserted where arrival order is observable
+// (the simulator tests). Writes to distinct registers overlap freely —
+// they are independent objects. A violation here means the workload (not
+// the protocol) is broken, so it is an error, not a Violation.
 func (h *History) ValidateWrites() error {
 	wsByKey := h.writesByKey()
 	for _, reg := range h.Keys() {
 		ws := wsByKey[reg]
-		for i := 1; i < len(ws); i++ {
-			prev, cur := ws[i-1], ws[i]
-			if prev.Completed && cur.Start < prev.End {
-				return fmt.Errorf("spec: %v writes overlap: %v(#%d) [%d,%d] and %v(#%d) starting %d",
-					reg, prev.Proc, prev.Value.SN, prev.Start, prev.End, cur.Proc, cur.Value.SN, cur.Start)
+		// ws is start-ordered. One sweep with an active window: a write
+		// stays active while later starts can still overlap it; once it
+		// completed before the current start it retires into the rolling
+		// maxDone. Cost is O(n·depth) per key, depth being the pipeline
+		// width — the old adjacent-pair check's linearity preserved.
+		var active []*Op
+		var maxDone SeqNumBefore
+		for _, cur := range ws {
+			kept := active[:0]
+			for _, prev := range active {
+				if prev.Completed && cur.Start >= prev.End {
+					maxDone.observe(prev.Value.SN)
+					continue
+				}
+				kept = append(kept, prev)
 			}
-			if !prev.Completed {
-				return fmt.Errorf("spec: %v write %v(#%d) never completed but %v started later",
-					reg, prev.Proc, prev.Value.SN, cur.Proc)
+			active = kept
+			for _, prev := range active {
+				// prev overlaps cur (it survived retirement above).
+				if prev.Proc != cur.Proc {
+					if !prev.Completed {
+						return fmt.Errorf("spec: %v write %v(#%d) never completed but %v started later",
+							reg, prev.Proc, prev.Value.SN, cur.Proc)
+					}
+					return fmt.Errorf("spec: %v cross-process writes overlap: %v(#%d) [%d,%d] and %v(#%d) starting %d",
+						reg, prev.Proc, prev.Value.SN, prev.Start, prev.End, cur.Proc, cur.Value.SN, cur.Start)
+				}
+				// Same-process pipelined overlap: concurrent, hence
+				// unordered — but never the SAME sn (one sn per write).
+				if cur.Completed && prev.Completed && cur.Value.SN == prev.Value.SN {
+					return fmt.Errorf("spec: %v pipelined writes share sn #%d ([%d,%d] and [%d,%d])",
+						reg, cur.Value.SN, prev.Start, prev.End, cur.Start, cur.End)
+				}
 			}
-			if cur.Completed && cur.Value.SN <= prev.Value.SN {
-				return fmt.Errorf("spec: %v write sequence numbers not increasing: #%d then #%d",
-					reg, prev.Value.SN, cur.Value.SN)
+			// Real-time order: cur supersedes everything that completed
+			// before it started.
+			if cur.Completed && maxDone.seen && cur.Value.SN <= maxDone.max {
+				return fmt.Errorf("spec: %v write sequence numbers not increasing: #%d completed before %v(#%d) started",
+					reg, maxDone.max, cur.Proc, cur.Value.SN)
 			}
+			active = append(active, cur)
 		}
 	}
 	return nil
+}
+
+// SeqNumBefore folds the largest sequence number among writes completed
+// before an instant.
+type SeqNumBefore struct {
+	seen bool
+	max  core.SeqNum
+}
+
+func (m *SeqNumBefore) observe(sn core.SeqNum) {
+	if !m.seen || sn > m.max {
+		m.seen = true
+		m.max = sn
+	}
 }
 
 // Violation describes a read that no regular register could return.
@@ -445,29 +499,64 @@ func (h *History) FindInversions() []Inversion {
 // sequence number. The paper does not require this (regularity is a
 // global property), but both of its protocols provide it for free — the
 // local copy register_i only ever advances — so the checker verifies it
-// as an additional implementation invariant.
+// as an additional implementation invariant. "Successive" is judged in
+// RESPONSE order: with pipelined reads, two overlapping reads from one
+// process are unordered (the later-invoked one may legally respond first
+// with an older value), but whatever a read returned, every read
+// responding after it must return at least as new a value.
 func (h *History) CheckMonotoneReads() []Violation {
 	type procKey struct {
 		proc core.ProcessID
 		reg  core.RegisterID
 	}
-	lastByProc := make(map[procKey]*Op)
-	var out []Violation
+	byProc := make(map[procKey][]*Op)
+	keys := make([]procKey, 0)
 	for _, r := range h.ops {
 		if r.Kind != OpRead || !r.Completed {
 			continue
 		}
 		pk := procKey{proc: r.Proc, reg: r.Reg}
-		if prev, ok := lastByProc[pk]; ok && r.Value.SN < prev.Value.SN {
-			out = append(out, Violation{
-				Read:          r,
-				Reg:           r.Reg,
-				LastCompleted: prev.Value.SN,
-				Allowed:       []core.SeqNum{prev.Value.SN},
-				Reason:        "process read went backwards (session violation)",
-			})
+		if _, ok := byProc[pk]; !ok {
+			keys = append(keys, pk)
 		}
-		lastByProc[pk] = r
+		byProc[pk] = append(byProc[pk], r)
+	}
+	var out []Violation
+	for _, pk := range keys {
+		reads := byProc[pk]
+		sort.SliceStable(reads, func(i, j int) bool { return reads[i].End < reads[j].End })
+		// Events within one instant are unordered (the history's own
+		// convention — see lastCompletedSN), so reads responding at the
+		// SAME End are mutually unconstrained: each is judged only
+		// against the max of STRICTLY earlier responses, and a whole
+		// same-End group folds into the max together.
+		maxSN := core.BottomSN
+		var maxOp *Op
+		for i := 0; i < len(reads); {
+			j := i
+			for j < len(reads) && reads[j].End == reads[i].End {
+				j++
+			}
+			groupMax := maxSN
+			groupMaxOp := maxOp
+			for _, r := range reads[i:j] {
+				if maxOp != nil && r.Value.SN < maxSN {
+					out = append(out, Violation{
+						Read:          r,
+						Reg:           r.Reg,
+						LastCompleted: maxSN,
+						Allowed:       []core.SeqNum{maxSN},
+						Reason:        "process read went backwards (session violation)",
+					})
+				}
+				if groupMaxOp == nil || r.Value.SN > groupMax {
+					groupMax = r.Value.SN
+					groupMaxOp = r
+				}
+			}
+			maxSN, maxOp = groupMax, groupMaxOp
+			i = j
+		}
 	}
 	return out
 }

@@ -1,0 +1,130 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"churnreg/internal/core"
+)
+
+// TestValidateWritesAllowsSameProcessPipelining: one process's writes to
+// one key may overlap; sns in invocation order pass.
+func TestValidateWritesAllowsSameProcessPipelining(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	w1 := h.BeginWriteKey(1, 5, 10)
+	w2 := h.BeginWriteKey(1, 5, 12) // overlaps w1, same proc
+	w3 := h.BeginWriteKey(1, 5, 14) // overlaps both
+	h.CompleteWrite(w2, 30, core.VersionedValue{Val: 2, SN: 2})
+	h.CompleteWrite(w1, 32, core.VersionedValue{Val: 1, SN: 1})
+	h.CompleteWrite(w3, 40, core.VersionedValue{Val: 3, SN: 3})
+	if err := h.ValidateWrites(); err != nil {
+		t.Fatalf("pipelined same-process writes rejected: %v", err)
+	}
+}
+
+// TestValidateWritesRejectsCrossProcessOverlap: the paper's discipline
+// survives across processes.
+func TestValidateWritesRejectsCrossProcessOverlap(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	w1 := h.BeginWriteKey(1, 5, 10)
+	w2 := h.BeginWriteKey(2, 5, 12) // overlaps w1, DIFFERENT proc
+	h.CompleteWrite(w1, 20, core.VersionedValue{Val: 1, SN: 1})
+	h.CompleteWrite(w2, 22, core.VersionedValue{Val: 2, SN: 2})
+	err := h.ValidateWrites()
+	if err == nil || !strings.Contains(err.Error(), "cross-process") {
+		t.Fatalf("cross-process overlap accepted: %v", err)
+	}
+}
+
+// TestValidateWritesPipelineOverlapUnordered: overlapping same-process
+// writes are concurrent — either sn order is legal (two pipelined client
+// requests may reach the node reversed) — but sns must be distinct.
+func TestValidateWritesPipelineOverlapUnordered(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	w1 := h.BeginWriteKey(1, 5, 10)
+	w2 := h.BeginWriteKey(1, 5, 12)
+	h.CompleteWrite(w1, 20, core.VersionedValue{Val: 1, SN: 2})
+	h.CompleteWrite(w2, 22, core.VersionedValue{Val: 2, SN: 1}) // later invocation, smaller sn: arrived first
+	if err := h.ValidateWrites(); err != nil {
+		t.Fatalf("reversed-arrival pipelined sns rejected: %v", err)
+	}
+	// The same sn twice is a genuine bug whatever the order.
+	h2 := NewHistory(core.VersionedValue{})
+	d1 := h2.BeginWriteKey(1, 5, 10)
+	d2 := h2.BeginWriteKey(1, 5, 12)
+	h2.CompleteWrite(d1, 20, core.VersionedValue{Val: 1, SN: 1})
+	h2.CompleteWrite(d2, 22, core.VersionedValue{Val: 2, SN: 1})
+	if err := h2.ValidateWrites(); err == nil {
+		t.Fatal("duplicate pipelined sn accepted")
+	}
+}
+
+// TestValidateWritesRealTimeOrderAcrossPipelines: a write starting after
+// another COMPLETED must carry a larger sn, pipelining or not.
+func TestValidateWritesRealTimeOrderAcrossPipelines(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	w1 := h.BeginWriteKey(1, 5, 10)
+	h.CompleteWrite(w1, 20, core.VersionedValue{Val: 1, SN: 7})
+	w2 := h.BeginWriteKey(1, 5, 30) // strictly after w1
+	h.CompleteWrite(w2, 40, core.VersionedValue{Val: 2, SN: 3})
+	if err := h.ValidateWrites(); err == nil {
+		t.Fatal("sn regression across real-time order accepted")
+	}
+}
+
+// TestValidateWritesDistinctKeysStillFree: overlap across keys is not
+// constrained at all.
+func TestValidateWritesDistinctKeysStillFree(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	w1 := h.BeginWriteKey(1, 5, 10)
+	w2 := h.BeginWriteKey(2, 6, 11) // different key, different proc
+	h.CompleteWrite(w1, 20, core.VersionedValue{Val: 1, SN: 1})
+	h.CompleteWrite(w2, 21, core.VersionedValue{Val: 2, SN: 1})
+	if err := h.ValidateWrites(); err != nil {
+		t.Fatalf("cross-key overlap rejected: %v", err)
+	}
+}
+
+// TestMonotoneReadsJudgedInResponseOrder: with pipelined reads, the
+// session guarantee binds response order, not invocation order — a
+// later-invoked read may respond first with an older value.
+func TestMonotoneReadsJudgedInResponseOrder(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	r1 := h.BeginReadKey(1, 0, 10)
+	r2 := h.BeginReadKey(1, 0, 11) // pipelined with r1
+	// r2 responds FIRST with the older value; r1 later with the newer.
+	h.CompleteRead(r2, 15, core.VersionedValue{Val: 1, SN: 1})
+	h.CompleteRead(r1, 20, core.VersionedValue{Val: 2, SN: 2})
+	if v := h.CheckMonotoneReads(); len(v) != 0 {
+		t.Fatalf("response-ordered reads flagged: %v", v)
+	}
+	// A genuine regression in response order is still caught.
+	r3 := h.BeginReadKey(1, 0, 30)
+	h.CompleteRead(r3, 35, core.VersionedValue{Val: 1, SN: 1})
+	if v := h.CheckMonotoneReads(); len(v) != 1 {
+		t.Fatalf("session regression not flagged: %v", v)
+	}
+}
+
+// TestCheckRegularAttributesPipelinedWritesPerKey: a read overlapping a
+// pipelined burst may return any of the concurrent writes' values — and
+// violations still name their key.
+func TestCheckRegularAttributesPipelinedWritesPerKey(t *testing.T) {
+	h := NewHistory(core.VersionedValue{})
+	w1 := h.BeginWriteKey(1, 5, 10)
+	w2 := h.BeginWriteKey(1, 5, 11)
+	r := h.BeginReadKey(2, 5, 12) // concurrent with both writes
+	h.CompleteWrite(w1, 20, core.VersionedValue{Val: 1, SN: 1})
+	h.CompleteWrite(w2, 21, core.VersionedValue{Val: 2, SN: 2})
+	h.CompleteRead(r, 25, core.VersionedValue{Val: 1, SN: 1})
+	if v := h.CheckRegular(); len(v) != 0 {
+		t.Fatalf("concurrent-write value rejected: %v", v)
+	}
+	// A value never written to THIS key is still a violation on this key.
+	r2 := h.BeginReadKey(2, 5, 40)
+	h.CompleteRead(r2, 41, core.VersionedValue{Val: 9, SN: 9})
+	vs := h.CheckRegular()
+	if len(vs) != 1 || vs[0].Reg != 5 {
+		t.Fatalf("violation not attributed to key 5: %v", vs)
+	}
+}

@@ -15,6 +15,15 @@
 //     delivery property has taken effect everywhere, then return. A batch
 //     write updates several keys with the same single broadcast and δ wait.
 //
+// Concurrency: the paper's processes are sequential; this node is not.
+// Every write is an entry in an operation table (core.OpTable) with its
+// own δ timer, so one node can have many writes in flight — across keys
+// AND pipelined on one key. Sequence numbers are assigned at invocation
+// (the local copy advances immediately), so pipelined writes to one key
+// from this node carry strictly increasing sequence numbers in invocation
+// order; the no-concurrent-writes discipline the paper needs survives per
+// key ACROSS nodes, which is the workload's (or the §7 token's) concern.
+//
 // Membership vs. register state: the join, the active flag, and the
 // deferred-inquiry bookkeeping are maintained once per process; everything
 // register-valued lives in a map keyed by core.RegisterID, instantiated
@@ -65,9 +74,9 @@ type Node struct {
 	replyTo []core.ProcessID
 	// replyToSeen dedupes replyTo.
 	replyToSeen map[core.ProcessID]bool
-	// writing marks keys with an in-flight write (per-key op discipline;
-	// writes to distinct keys may overlap on one node).
-	writing map[core.RegisterID]bool
+	// ops tracks in-flight writes (lone and batched), one entry per client
+	// operation, each completed by its own δ timer.
+	ops *core.OpTable[writeOp]
 
 	joining  bool
 	joinDone []func()
@@ -95,7 +104,7 @@ func New(env core.Env, sc core.SpawnContext, opts Options) *Node {
 		opts:        opts,
 		regs:        core.NewRegStore(sc),
 		replyToSeen: make(map[core.ProcessID]bool),
-		writing:     make(map[core.RegisterID]bool),
+		ops:         core.NewOpTable[writeOp](0),
 	}
 	n.active = sc.Bootstrap
 	return n
@@ -108,6 +117,13 @@ func Factory(opts Options) core.NodeFactory {
 	}
 }
 
+// writeOp is one in-flight write operation: the values it stored (one for
+// a lone write, several for a batch) and the callback its δ timer runs.
+type writeOp struct {
+	entries []core.KeyedValue
+	done    func([]core.KeyedValue)
+}
+
 // Compile-time interface checks.
 var (
 	_ core.Node             = (*Node)(nil)
@@ -116,8 +132,11 @@ var (
 	_ core.Joiner           = (*Node)(nil)
 	_ core.KeyedLocalReader = (*Node)(nil)
 	_ core.KeyedWriter      = (*Node)(nil)
+	_ core.SNWriter         = (*Node)(nil)
 	_ core.BatchWriter      = (*Node)(nil)
+	_ core.SNBatchWriter    = (*Node)(nil)
 	_ core.KeyedSnapshotter = (*Node)(nil)
+	_ core.OpAccountant     = (*Node)(nil)
 )
 
 // value and merge are per-key store accessors threading the node's
@@ -243,39 +262,75 @@ func (n *Node) Write(v core.Value, done func()) error {
 	return n.WriteKey(core.DefaultRegister, v, done)
 }
 
-// WriteKey implements core.KeyedWriter — operation write(v), Figure 2
-// lines 01-02, on one key. The paper assumes writes to a key are not
-// concurrent with one another (one writer, or coordinated writers); done
-// runs when the write returns ok. Writes to distinct keys may overlap.
+// WriteKey implements core.KeyedWriter — sugar over WriteKeySN for
+// callers that do not need the assigned sequence number.
 func (n *Node) WriteKey(k core.RegisterID, v core.Value, done func()) error {
-	if !n.active {
-		return core.ErrNotActive
-	}
-	if n.writing[k] {
-		return core.ErrOpInProgress
-	}
-	n.writing[k] = true
-	n.stats.Writes++
-	// Line 01: sn_w := sn_w + 1; register := v; broadcast WRITE(v, sn_w).
-	next := core.VersionedValue{Val: v, SN: n.value(k).SN + 1}
-	n.regs.Store(k, next)
-	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k})
-	// Line 02: wait(δ); return ok. After δ every process present at the
-	// broadcast that has not left holds the value.
-	n.env.After(n.env.Delta(), func() {
-		delete(n.writing, k)
+	return n.WriteKeySN(k, v, func(core.VersionedValue) {
 		if done != nil {
 			done()
 		}
 	})
+}
+
+// WriteKeySN implements core.SNWriter — operation write(v), Figure 2
+// lines 01-02, on one key. done receives the exact ⟨v, sn⟩ this write
+// stored when the write returns ok. Writes may be in flight concurrently
+// on this node — across keys and pipelined on this key (each is its own
+// op-table entry with its own δ timer); the paper's no-concurrent-writes
+// discipline applies per key across nodes.
+func (n *Node) WriteKeySN(k core.RegisterID, v core.Value, done func(core.VersionedValue)) error {
+	if !n.active {
+		return core.ErrNotActive
+	}
+	if n.ops.Full() {
+		return core.ErrOpInProgress
+	}
+	id, o := n.ops.Begin()
+	n.stats.Writes++
+	// Line 01: sn_w := sn_w + 1; register := v; broadcast WRITE(v, sn_w).
+	// The local copy advances NOW, so a pipelined successor write on this
+	// key builds on this sequence number: invocation order = sn order.
+	next := core.VersionedValue{Val: v, SN: n.value(k).SN + 1}
+	n.regs.Store(k, next)
+	o.entries = []core.KeyedValue{{Reg: k, Value: next}}
+	if done != nil {
+		o.done = func(kvs []core.KeyedValue) { done(kvs[0].Value) }
+	}
+	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
+	// Line 02: wait(δ); return ok. After δ every process present at the
+	// broadcast that has not left holds the value. Each write waits on its
+	// OWN timer: the waits overlap, which is the pipelining dividend.
+	n.env.After(n.env.Delta(), func() { n.finishWrite(id) })
 	return nil
 }
 
-// WriteBatch implements core.BatchWriter: one broadcast carries updates
-// for every named key, and the single δ wait covers them all — the
-// synchronous model's batching dividend. Entries must be sorted by Reg
-// with no duplicates.
+// finishWrite reclaims one write's op-table entry and runs its callback.
+func (n *Node) finishWrite(id core.OpID) {
+	o, ok := n.ops.Get(id)
+	if !ok {
+		return
+	}
+	n.ops.Finish(id)
+	if o.done != nil {
+		o.done(o.entries)
+	}
+}
+
+// WriteBatch implements core.BatchWriter — sugar over WriteBatchSN.
 func (n *Node) WriteBatch(entries []core.KeyedWrite, done func()) error {
+	return n.WriteBatchSN(entries, func([]core.KeyedValue) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// WriteBatchSN implements core.SNBatchWriter: one broadcast carries
+// updates for every named key, and the single δ wait covers them all —
+// the synchronous model's batching dividend. done receives the stored
+// ⟨v, sn⟩ per entry, in entry order. Entries must be sorted by Reg with
+// no duplicates. The whole batch is ONE op-table entry.
+func (n *Node) WriteBatchSN(entries []core.KeyedWrite, done func([]core.KeyedValue)) error {
 	if !n.active {
 		return core.ErrNotActive
 	}
@@ -286,30 +341,28 @@ func (n *Node) WriteBatch(entries []core.KeyedWrite, done func()) error {
 		if i > 0 && entries[i-1].Reg >= e.Reg {
 			return fmt.Errorf("syncreg: batch entries not sorted/unique at %v", e.Reg)
 		}
-		if n.writing[e.Reg] {
-			return core.ErrOpInProgress
-		}
 	}
+	if n.ops.Full() {
+		return core.ErrOpInProgress
+	}
+	id, o := n.ops.Begin()
 	n.stats.BatchWrites++
 	n.stats.Writes += uint64(len(entries))
 	out := make([]core.KeyedValue, len(entries))
 	for i, e := range entries {
 		next := core.VersionedValue{Val: e.Val, SN: n.value(e.Reg).SN + 1}
 		n.regs.Store(e.Reg, next)
-		n.writing[e.Reg] = true
 		out[i] = core.KeyedValue{Reg: e.Reg, Value: next}
 	}
-	n.env.Broadcast(core.WriteBatchMsg{From: n.env.ID(), Entries: out})
-	n.env.After(n.env.Delta(), func() {
-		for _, e := range entries {
-			delete(n.writing, e.Reg)
-		}
-		if done != nil {
-			done()
-		}
-	})
+	o.entries = out
+	o.done = done
+	n.env.Broadcast(core.WriteBatchMsg{From: n.env.ID(), Op: id, Entries: out})
+	n.env.After(n.env.Delta(), func() { n.finishWrite(id) })
 	return nil
 }
+
+// PendingOps implements core.OpAccountant.
+func (n *Node) PendingOps() int { return n.ops.Len() }
 
 // Deliver implements core.Node, dispatching the message handlers of
 // Figures 1 and 2.

@@ -135,20 +135,36 @@ func TestReadBeforeJoinCompletesErrors(t *testing.T) {
 	}
 }
 
-func TestConcurrentWriteOnSameNodeErrors(t *testing.T) {
+// TestPipelinedWritesOnSameNode pins the relaxed sequentiality contract:
+// several writes to ONE key may be in flight on one node; each draws the
+// next sequence number at invocation, each completes on its own δ timer,
+// and the op table drains to empty.
+func TestPipelinedWritesOnSameNode(t *testing.T) {
 	sys := newSystem(t, 3, netsim.SynchronousModel{Delta: delta}, syncreg.Options{}, 0)
 	n := syncNode(t, sys, sys.ActiveIDs()[0])
-	if err := n.Write(1, nil); err != nil {
+	var sns []core.SeqNum
+	for i := 1; i <= 3; i++ {
+		if err := n.WriteKeySN(core.DefaultRegister, core.Value(i*10), func(vv core.VersionedValue) {
+			sns = append(sns, vv.SN)
+		}); err != nil {
+			t.Fatalf("pipelined write %d = %v, want nil", i, err)
+		}
+	}
+	if got := n.PendingOps(); got != 3 {
+		t.Fatalf("PendingOps mid-flight = %d, want 3", got)
+	}
+	if err := sys.RunFor(2 * delta); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Write(2, nil); !errors.Is(err, core.ErrOpInProgress) {
-		t.Fatalf("second concurrent Write = %v, want ErrOpInProgress", err)
+	if len(sns) != 3 || sns[0] != 1 || sns[1] != 2 || sns[2] != 3 {
+		t.Fatalf("assigned sns = %v, want [1 2 3] (invocation order)", sns)
 	}
-	if err := sys.RunFor(delta); err != nil {
-		t.Fatal(err)
+	if got := n.PendingOps(); got != 0 {
+		t.Fatalf("PendingOps after completion = %d, want 0 (leak)", got)
 	}
-	if err := n.Write(2, nil); err != nil {
-		t.Fatalf("Write after completion = %v, want nil", err)
+	v, _ := n.ReadLocal()
+	if v.SN != 3 || v.Val != 30 {
+		t.Fatalf("after pipelined writes value = %v, want ⟨30,#3⟩", v)
 	}
 }
 

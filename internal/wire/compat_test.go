@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"churnreg/internal/core"
+)
+
+func v1be64(b []byte, v int64) []byte { return binary.BigEndian.AppendUint64(b, uint64(v)) }
+
+// v1Msg hand-builds a FrameMsg payload in the version-1 layout: version
+// byte 1, frame type, envelope From, message kind, then the kind's v1
+// fields (which carried no OpID). The encoder for that layout is gone;
+// these bytes are the frozen history a v2 node may still receive from an
+// old peer.
+func v1Msg(kind core.MsgKind, fields ...int64) []byte {
+	b := []byte{1, byte(FrameMsg)}
+	b = v1be64(b, 7) // envelope From
+	b = append(b, byte(kind))
+	for _, f := range fields {
+		b = v1be64(b, f)
+	}
+	return b
+}
+
+// v1Frames enumerates one well-formed version-1 payload per message shape
+// that gained an OpID in version 2, plus a control frame whose layout
+// never changed (only its version byte differs).
+func v1Frames() map[string][]byte {
+	frames := map[string][]byte{
+		// INQUIRY(from, rsn)
+		"inquiry": v1Msg(core.KindInquiry, 7, 3),
+		// WRITE(from, val, sn, reg)
+		"write": v1Msg(core.KindWrite, 7, 42, 5, 1),
+		// ACK(from, sn, reg)
+		"ack": v1Msg(core.KindAck, 7, 5, 1),
+		// READ(from, rsn, reg)
+		"read": v1Msg(core.KindRead, 7, 3, 1),
+		// DL_PREV(from, rsn, reg)
+		"dlprev": v1Msg(core.KindDLPrev, 7, 3, 1),
+	}
+	// REPLY(from, val, sn, rsn, reg, count=0) — no Op before the count.
+	reply := v1Msg(core.KindReply, 7, 42, 5, 3, 1)
+	frames["reply"] = binary.BigEndian.AppendUint32(reply, 0)
+	// WRITE_BATCH(from, count=1, entry) — no Op before the count.
+	batch := v1Msg(core.KindWriteBatch, 7)
+	batch = binary.BigEndian.AppendUint32(batch, 1)
+	for _, f := range []int64{1, 42, 5} {
+		batch = v1be64(batch, f)
+	}
+	frames["writebatch"] = batch
+	// HELLO is layout-identical across versions; it must STILL be rejected
+	// (no mixed-version mesh: the version byte governs the whole stream).
+	hello := []byte{1, byte(FrameHello)}
+	hello = v1be64(hello, 9)
+	hello = binary.BigEndian.AppendUint16(hello, 3)
+	frames["hello"] = append(hello, "a:1"...)
+	return frames
+}
+
+// TestDecodePreviousVersionFailsLoudly pins the compatibility contract:
+// a version-1 payload decodes to ErrVersion — a versioned, inspectable
+// error, never a panic and never a silently misparsed message. (A node
+// receiving it drops the connection; the old peer must upgrade.)
+func TestDecodePreviousVersionFailsLoudly(t *testing.T) {
+	for name, payload := range v1Frames() {
+		_, err := DecodeFrame(payload)
+		if err == nil {
+			t.Errorf("%s: DecodeFrame accepted a version-1 payload", name)
+			continue
+		}
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: DecodeFrame error = %v, want ErrVersion", name, err)
+		}
+	}
+}
+
+// TestVersionedErrorNamesTheVersion makes the failure actionable: the
+// error string carries the offending version so operators of a mixed
+// deployment can tell WHICH side is old.
+func TestVersionedErrorNamesTheVersion(t *testing.T) {
+	_, err := DecodeFrame(v1Frames()["write"])
+	if err == nil || !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := err.Error(); got != "wire: unsupported codec version: 1" {
+		t.Fatalf("error text = %q", got)
+	}
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -35,9 +36,22 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, byte(FrameMsg)})
+	// Version-1 payloads (no OpID on message bodies): the decoder must
+	// reject them with the versioned error, never misparse them.
+	for _, payload := range v1Frames() {
+		f.Add(payload)
+	}
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		fr, err := DecodeFrame(b)
+		if len(b) >= 2 && b[0] != Version {
+			// Previous (or future) codec versions fail loudly: whatever the
+			// rest of the payload, the error is the versioned sentinel.
+			if !errors.Is(err, ErrVersion) {
+				t.Fatalf("foreign version byte %d decoded to err=%v, want ErrVersion", b[0], err)
+			}
+			return
+		}
 		if err != nil {
 			return
 		}
@@ -62,18 +76,18 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		vv := core.VersionedValue{Val: core.Value(b), SN: core.SeqNum(c)}
 		switch kind {
 		case core.KindInquiry:
-			m = core.InquiryMsg{From: core.ProcessID(a), RSN: core.ReadSeq(b)}
+			m = core.InquiryMsg{From: core.ProcessID(a), RSN: core.ReadSeq(b), Op: core.OpID(d)}
 		case core.KindReply:
 			m = core.ReplyMsg{From: core.ProcessID(a), Value: vv, RSN: core.ReadSeq(d), Reg: core.RegisterID(e),
-				Rest: []core.KeyedValue{{Reg: core.RegisterID(d), Value: vv}}}
+				Op: core.OpID(a), Rest: []core.KeyedValue{{Reg: core.RegisterID(d), Value: vv}}}
 		case core.KindWrite:
-			m = core.WriteMsg{From: core.ProcessID(a), Value: vv, Reg: core.RegisterID(d)}
+			m = core.WriteMsg{From: core.ProcessID(a), Value: vv, Reg: core.RegisterID(d), Op: core.OpID(e)}
 		case core.KindAck:
-			m = core.AckMsg{From: core.ProcessID(a), SN: core.SeqNum(b), Reg: core.RegisterID(c)}
+			m = core.AckMsg{From: core.ProcessID(a), SN: core.SeqNum(b), Reg: core.RegisterID(c), Op: core.OpID(d)}
 		case core.KindRead:
-			m = core.ReadMsg{From: core.ProcessID(a), RSN: core.ReadSeq(b), Reg: core.RegisterID(c)}
+			m = core.ReadMsg{From: core.ProcessID(a), RSN: core.ReadSeq(b), Reg: core.RegisterID(c), Op: core.OpID(b)}
 		case core.KindDLPrev:
-			m = core.DLPrevMsg{From: core.ProcessID(a), RSN: core.ReadSeq(b), Reg: core.RegisterID(c)}
+			m = core.DLPrevMsg{From: core.ProcessID(a), RSN: core.ReadSeq(b), Reg: core.RegisterID(c), Op: core.OpID(b)}
 		case core.KindClaim:
 			m = core.ClaimMsg{From: core.ProcessID(a), Stamp: b}
 		case core.KindBeat:
@@ -81,7 +95,7 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		case core.KindToken:
 			m = core.TokenMsg{From: core.ProcessID(a)}
 		case core.KindWriteBatch:
-			m = core.WriteBatchMsg{From: core.ProcessID(a),
+			m = core.WriteBatchMsg{From: core.ProcessID(a), Op: core.OpID(d),
 				Entries: []core.KeyedValue{{Reg: core.RegisterID(b), Value: vv}}}
 		}
 		enc, err := EncodeMessage(m)

@@ -36,7 +36,15 @@ import (
 // Version is the codec version stamped on every payload. A node receiving
 // a different version drops the connection — the system has no mixed-
 // version story yet, and failing loudly beats corrupting register state.
-const Version = 1
+//
+// Version history:
+//
+//	1: the original layout, no operation tags.
+//	2: every request/reply message body carries the sender's (or echoed)
+//	   core.OpID — the pipelining tag that lets a node run many
+//	   concurrent operations. Version-1 payloads decode to ErrVersion
+//	   (see TestDecodePreviousVersionFailsLoudly).
+const Version = 2
 
 // MaxFrame bounds a payload's length. The largest legitimate frame is a
 // join snapshot reply, 24 bytes per key; 1 MiB allows ~43k keys per
@@ -242,6 +250,7 @@ func AppendMessage(b []byte, m core.Message) ([]byte, error) {
 		b = append(b, byte(core.KindInquiry))
 		b = be64(b, int64(msg.From))
 		b = be64(b, int64(msg.RSN))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
 	case core.ReplyMsg:
 		b = append(b, byte(core.KindReply))
 		b = be64(b, int64(msg.From))
@@ -249,6 +258,7 @@ func AppendMessage(b []byte, m core.Message) ([]byte, error) {
 		b = be64(b, int64(msg.Value.SN))
 		b = be64(b, int64(msg.RSN))
 		b = be64(b, int64(msg.Reg))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
 		b = binary.BigEndian.AppendUint32(b, uint32(len(msg.Rest)))
 		for _, kv := range msg.Rest {
 			b = appendKeyedValue(b, kv)
@@ -259,21 +269,25 @@ func AppendMessage(b []byte, m core.Message) ([]byte, error) {
 		b = be64(b, int64(msg.Value.Val))
 		b = be64(b, int64(msg.Value.SN))
 		b = be64(b, int64(msg.Reg))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
 	case core.AckMsg:
 		b = append(b, byte(core.KindAck))
 		b = be64(b, int64(msg.From))
 		b = be64(b, int64(msg.SN))
 		b = be64(b, int64(msg.Reg))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
 	case core.ReadMsg:
 		b = append(b, byte(core.KindRead))
 		b = be64(b, int64(msg.From))
 		b = be64(b, int64(msg.RSN))
 		b = be64(b, int64(msg.Reg))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
 	case core.DLPrevMsg:
 		b = append(b, byte(core.KindDLPrev))
 		b = be64(b, int64(msg.From))
 		b = be64(b, int64(msg.RSN))
 		b = be64(b, int64(msg.Reg))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
 	case core.ClaimMsg:
 		b = append(b, byte(core.KindClaim))
 		b = be64(b, int64(msg.From))
@@ -293,6 +307,7 @@ func AppendMessage(b []byte, m core.Message) ([]byte, error) {
 	case core.WriteBatchMsg:
 		b = append(b, byte(core.KindWriteBatch))
 		b = be64(b, int64(msg.From))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
 		b = binary.BigEndian.AppendUint32(b, uint32(len(msg.Entries)))
 		for _, kv := range msg.Entries {
 			b = appendKeyedValue(b, kv)
@@ -472,6 +487,7 @@ func (d *decoder) message() core.Message {
 		return core.InquiryMsg{
 			From: core.ProcessID(d.i64()),
 			RSN:  core.ReadSeq(d.i64()),
+			Op:   core.OpID(d.u64()),
 		}
 	case core.KindReply:
 		return core.ReplyMsg{
@@ -482,6 +498,7 @@ func (d *decoder) message() core.Message {
 			},
 			RSN:  core.ReadSeq(d.i64()),
 			Reg:  core.RegisterID(d.i64()),
+			Op:   core.OpID(d.u64()),
 			Rest: d.keyedValues(),
 		}
 	case core.KindWrite:
@@ -492,24 +509,28 @@ func (d *decoder) message() core.Message {
 				SN:  core.SeqNum(d.i64()),
 			},
 			Reg: core.RegisterID(d.i64()),
+			Op:  core.OpID(d.u64()),
 		}
 	case core.KindAck:
 		return core.AckMsg{
 			From: core.ProcessID(d.i64()),
 			SN:   core.SeqNum(d.i64()),
 			Reg:  core.RegisterID(d.i64()),
+			Op:   core.OpID(d.u64()),
 		}
 	case core.KindRead:
 		return core.ReadMsg{
 			From: core.ProcessID(d.i64()),
 			RSN:  core.ReadSeq(d.i64()),
 			Reg:  core.RegisterID(d.i64()),
+			Op:   core.OpID(d.u64()),
 		}
 	case core.KindDLPrev:
 		return core.DLPrevMsg{
 			From: core.ProcessID(d.i64()),
 			RSN:  core.ReadSeq(d.i64()),
 			Reg:  core.RegisterID(d.i64()),
+			Op:   core.OpID(d.u64()),
 		}
 	case core.KindClaim:
 		return core.ClaimMsg{
@@ -527,6 +548,7 @@ func (d *decoder) message() core.Message {
 	case core.KindWriteBatch:
 		return core.WriteBatchMsg{
 			From:    core.ProcessID(d.i64()),
+			Op:      core.OpID(d.u64()),
 			Entries: d.keyedValues(),
 		}
 	default:

@@ -26,20 +26,21 @@ func randMessage(rng *rand.Rand, kind core.MsgKind) core.Message {
 		return out
 	}
 	from := core.ProcessID(rng.Int63n(1 << 30))
+	op := func() core.OpID { return core.OpID(rng.Uint64() >> rng.Intn(64)) }
 	switch kind {
 	case core.KindInquiry:
-		return core.InquiryMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30))}
+		return core.InquiryMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30)), Op: op()}
 	case core.KindReply:
 		return core.ReplyMsg{From: from, Value: vv(), RSN: core.ReadSeq(rng.Int63n(1 << 30)),
-			Reg: core.RegisterID(rng.Int63n(1 << 20)), Rest: kvs(rng.Intn(64))}
+			Reg: core.RegisterID(rng.Int63n(1 << 20)), Op: op(), Rest: kvs(rng.Intn(64))}
 	case core.KindWrite:
-		return core.WriteMsg{From: from, Value: vv(), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+		return core.WriteMsg{From: from, Value: vv(), Reg: core.RegisterID(rng.Int63n(1 << 20)), Op: op()}
 	case core.KindAck:
-		return core.AckMsg{From: from, SN: core.SeqNum(rng.Int63n(1 << 40)), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+		return core.AckMsg{From: from, SN: core.SeqNum(rng.Int63n(1 << 40)), Reg: core.RegisterID(rng.Int63n(1 << 20)), Op: op()}
 	case core.KindRead:
-		return core.ReadMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30)), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+		return core.ReadMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30)), Reg: core.RegisterID(rng.Int63n(1 << 20)), Op: op()}
 	case core.KindDLPrev:
-		return core.DLPrevMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30)), Reg: core.RegisterID(rng.Int63n(1 << 20))}
+		return core.DLPrevMsg{From: from, RSN: core.ReadSeq(rng.Int63n(1 << 30)), Reg: core.RegisterID(rng.Int63n(1 << 20)), Op: op()}
 	case core.KindClaim:
 		return core.ClaimMsg{From: from, Stamp: rng.Int63()}
 	case core.KindBeat:
@@ -47,7 +48,7 @@ func randMessage(rng *rand.Rand, kind core.MsgKind) core.Message {
 	case core.KindToken:
 		return core.TokenMsg{From: from}
 	case core.KindWriteBatch:
-		return core.WriteBatchMsg{From: from, Entries: kvs(1 + rng.Intn(32))}
+		return core.WriteBatchMsg{From: from, Op: op(), Entries: kvs(1 + rng.Intn(32))}
 	default:
 		panic("unknown kind")
 	}
@@ -88,8 +89,8 @@ func TestMessageRoundTripBoundaryValues(t *testing.T) {
 		core.ReplyMsg{From: 1<<62 - 1, Value: core.VersionedValue{Val: -1 << 62, SN: 1<<62 - 1},
 			RSN: 1<<62 - 1, Reg: 1<<62 - 1,
 			Rest: []core.KeyedValue{{Reg: -5, Value: core.Bottom()}}},
-		core.WriteMsg{From: 3, Value: core.VersionedValue{Val: -9, SN: 0}, Reg: 0},
-		core.AckMsg{From: 2, SN: core.BottomSN, Reg: -1},
+		core.WriteMsg{From: 3, Value: core.VersionedValue{Val: -9, SN: 0}, Reg: 0, Op: 1<<64 - 1},
+		core.AckMsg{From: 2, SN: core.BottomSN, Reg: -1, Op: core.NoOp},
 		core.BeatMsg{From: 4, Free: true, Seq: 1<<64 - 1},
 		core.ClaimMsg{From: 5, Stamp: -1 << 40},
 		core.TokenMsg{From: 6},

@@ -11,7 +11,14 @@ import (
 )
 
 // LiveCluster runs the chosen protocol in real time: one goroutine per
-// process, channels as links, wall-clock δ. It is safe for concurrent use.
+// process, channels as links, wall-clock δ. It is safe for concurrent
+// use, and concurrency is the point: any number of goroutines may call
+// ReadKeyAt/WriteKey/WriteKeyAt at once — each call is its own pipelined
+// operation on the target node (the protocols keep an operation table,
+// not a single pending slot), across keys and on the same key. Writes to
+// one key should keep flowing through one process (the designated writer,
+// as WriteKey does) — the paper's per-key discipline across nodes; a
+// single node orders its own pipelined writes by invocation.
 //
 // Unlike SimCluster there is no churn engine — the caller drives
 // membership with Join and Leave (see examples/socialprofile for a churn
@@ -85,10 +92,10 @@ func (c *LiveCluster) Write(v int64) error {
 }
 
 // WriteKey stores v in one register via the designated writer process.
-// Calls addressing the same key must not be issued concurrently with one
-// another (the paper's write discipline, per key).
+// Concurrent calls — same key or not — pipeline on the writer, which
+// assigns their sequence numbers in arrival order.
 func (c *LiveCluster) WriteKey(k RegisterID, v int64) error {
-	err := c.cluster.WriteKey(c.writer, k, core.Value(v), c.opts.opTimeout)
+	_, err := c.cluster.WriteKey(c.writer, k, core.Value(v), c.opts.opTimeout)
 	if err == livenet.ErrAbsent {
 		// The writer left; adopt another process and retry once. Before
 		// the successor writes it must hold the departed writer's last
@@ -104,7 +111,7 @@ func (c *LiveCluster) WriteKey(k RegisterID, v int64) error {
 			return ErrNoActiveProcess
 		}
 		c.writer = ids[0]
-		err = c.cluster.WriteKey(c.writer, k, core.Value(v), c.opts.opTimeout)
+		_, err = c.cluster.WriteKey(c.writer, k, core.Value(v), c.opts.opTimeout)
 	}
 	if err != nil {
 		return fmt.Errorf("churnreg: live write %v: %w", k, err)
@@ -128,7 +135,7 @@ func (c *LiveCluster) WriteBatch(kvs map[RegisterID]int64) error {
 	for i, k := range ks {
 		entries[i] = core.KeyedWrite{Reg: k, Val: core.Value(kvs[k])}
 	}
-	if err := c.cluster.WriteBatch(c.writer, entries, c.opts.opTimeout); err != nil {
+	if _, err := c.cluster.WriteBatch(c.writer, entries, c.opts.opTimeout); err != nil {
 		return fmt.Errorf("churnreg: live write batch: %w", err)
 	}
 	return nil
@@ -141,7 +148,7 @@ func (c *LiveCluster) WriteAt(id ProcessID, v int64) error {
 
 // WriteKeyAt stores v in one register via a specific process.
 func (c *LiveCluster) WriteKeyAt(id ProcessID, k RegisterID, v int64) error {
-	if err := c.cluster.WriteKey(id, k, core.Value(v), c.opts.opTimeout); err != nil {
+	if _, err := c.cluster.WriteKey(id, k, core.Value(v), c.opts.opTimeout); err != nil {
 		return fmt.Errorf("churnreg: live write %v at %v: %w", k, id, err)
 	}
 	return nil

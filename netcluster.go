@@ -23,6 +23,11 @@ import (
 // Leave, and Kill) and no built-in history checking. The synchronous
 // protocol's δ budget must cover genuine TCP round-trips plus scheduler
 // slop — keep Delta×Tick at tens of milliseconds.
+//
+// Concurrency matches LiveCluster: any number of goroutines may issue
+// reads and writes at once; every call pipelines as its own operation on
+// its node, across keys and on one key. Route one key's writes through
+// one node (WriteKey uses the designated writer for exactly this).
 type NetCluster struct {
 	opts   options
 	mu     sync.Mutex
@@ -231,7 +236,7 @@ func (c *NetCluster) WriteKey(k RegisterID, v int64) error {
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteKey(k, core.Value(v), c.opts.opTimeout); err != nil {
+	if _, err := tr.WriteKey(k, core.Value(v), c.opts.opTimeout); err != nil {
 		return fmt.Errorf("churnreg: net write %v: %w", k, err)
 	}
 	return nil
@@ -256,7 +261,7 @@ func (c *NetCluster) WriteBatch(kvs map[RegisterID]int64) error {
 	for i, k := range ks {
 		entries[i] = core.KeyedWrite{Reg: k, Val: core.Value(kvs[k])}
 	}
-	if err := tr.WriteBatch(entries, c.opts.opTimeout); err != nil {
+	if _, err := tr.WriteBatch(entries, c.opts.opTimeout); err != nil {
 		return fmt.Errorf("churnreg: net write batch: %w", err)
 	}
 	return nil
@@ -299,7 +304,7 @@ func (c *NetCluster) WriteKeyAt(id ProcessID, k RegisterID, v int64) error {
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteKey(k, core.Value(v), c.opts.opTimeout); err != nil {
+	if _, err := tr.WriteKey(k, core.Value(v), c.opts.opTimeout); err != nil {
 		return fmt.Errorf("churnreg: net write %v at %v: %w", k, id, err)
 	}
 	return nil

@@ -15,15 +15,23 @@ import (
 // namespace of regular registers over one membership substrate. All
 // methods drive the simulation forward as needed; between calls, virtual
 // time stands still. Not safe for concurrent use (the simulation is
-// single-threaded by design).
+// single-threaded by design) — but operations still pipeline: the
+// Start*/Await API issues any number of operations, across keys and on
+// one key, before driving the simulation until they complete, which is
+// the deterministic twin of LiveCluster/NetCluster's concurrent callers.
 type SimCluster struct {
 	opts    options
 	sys     *dynsys.System
 	history *spec.History
 	writer  core.ProcessID
-	// shielded processes are exempt from churn while a blocking operation
-	// runs on them ("the invoking process does not leave").
-	shielded map[core.ProcessID]bool
+	// shielded counts in-flight operations per invoking process; a process
+	// with a positive count is exempt from churn ("the invoking process
+	// does not leave" — the paper's liveness precondition).
+	shielded map[core.ProcessID]int
+	// live tracks outstanding PendingOp handles so settled ops release
+	// their shields no matter how the simulation was driven (Await or
+	// plain Run) — see sweepSettled.
+	live []*PendingOp
 	// stepBudget bounds how long a single blocking operation may advance
 	// virtual time before reporting a liveness failure.
 	stepBudget sim.Duration
@@ -42,7 +50,7 @@ func NewSimCluster(opt ...Option) (*SimCluster, error) {
 	}
 	c := &SimCluster{
 		opts:       o,
-		shielded:   make(map[core.ProcessID]bool),
+		shielded:   make(map[core.ProcessID]int),
 		stepBudget: sim.Duration(o.opTimeout / o.tick),
 	}
 	sys, err := dynsys.New(dynsys.Config{
@@ -54,7 +62,7 @@ func NewSimCluster(opt ...Option) (*SimCluster, error) {
 		ChurnRate:   o.churnRate,
 		ChurnPolicy: o.policy,
 		MinLifetime: sim.Duration(o.minLifetime),
-		Protect:     func(id core.ProcessID) bool { return id == c.writer || c.shielded[id] },
+		Protect:     func(id core.ProcessID) bool { return id == c.writer || c.shielded[id] > 0 },
 		Initial:     core.VersionedValue{Val: core.Value(o.initial), SN: 0},
 		Initials:    o.initialKeys,
 	})
@@ -73,9 +81,31 @@ func NewSimCluster(opt ...Option) (*SimCluster, error) {
 func (c *SimCluster) Now() int64 { return int64(c.sys.Now()) }
 
 // Run advances the simulation by d ticks (churn and in-flight protocol
-// activity proceed; no new operations are issued).
+// activity proceed; no new operations are issued). Pending operations
+// that settle during the run release their churn shields here, so a
+// caller may drive Start* handles with Run alone and poll Done.
 func (c *SimCluster) Run(d int64) {
 	_ = c.sys.RunFor(sim.Duration(d))
+	c.sweepSettled()
+}
+
+// sweepSettled releases the churn shields of every settled handle and
+// drops them from the live list. Runs after every simulation advance
+// (Run, Await), so a shield outlives its operation by at most one
+// driving call — never for the rest of the run.
+func (c *SimCluster) sweepSettled() {
+	kept := c.live[:0]
+	for _, p := range c.live {
+		if p.done {
+			p.release()
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(c.live); i++ {
+		c.live[i] = nil
+	}
+	c.live = kept
 }
 
 // Size returns the number of processes currently in the system (always n).
@@ -98,8 +128,8 @@ func (c *SimCluster) Join() (ProcessID, error) {
 		return id, nil
 	}
 	// Shield the joiner so "the invoking process does not leave".
-	c.shielded[id] = true
-	defer delete(c.shielded, id)
+	c.shield(id)
+	defer c.unshield(id)
 	done := false
 	j.OnJoined(func() { done = true })
 	if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
@@ -118,33 +148,231 @@ func (c *SimCluster) Write(v int64) error {
 
 // WriteKey stores v in one register of the namespace via an active
 // process (a stable designated writer when available) and runs the
-// simulation until the write returns ok. Writes from a SimCluster are
-// sequential by construction, matching the paper's one-writer-at-a-time
-// discipline (which the keyed protocols require only per key).
+// simulation until the write returns ok. One blocking call at a time is
+// the paper's sequential-process discipline; use StartWriteKey/Await to
+// pipeline several writes — the protocols serve them concurrently and
+// assign sequence numbers in invocation order per key.
 func (c *SimCluster) WriteKey(k RegisterID, v int64) error {
+	p := c.StartWriteKey(k, v)
+	return c.Await(p)
+}
+
+// PendingOp is the handle to an operation issued without blocking by
+// StartWriteKey or StartReadKeyAt. Drive the simulation (Await, Run)
+// until Done; then Err/Value report the outcome. Handles are not safe
+// for concurrent use — like the cluster itself, they belong to the one
+// goroutine driving the simulation.
+type PendingOp struct {
+	c    *SimCluster
+	proc core.ProcessID
+	key  RegisterID
+	op   *spec.Op
+	read bool
+
+	done bool
+	err  error
+	val  core.VersionedValue
+	// shielded marks that this op holds a churn shield on its invoker.
+	// The shield is released when Await OBSERVES completion — not inside
+	// the completion callback — so the invoker stays protected through
+	// the whole tick its operation completes in, exactly as the blocking
+	// API always behaved.
+	shielded bool
+}
+
+// Done reports whether the operation has completed (or failed).
+func (p *PendingOp) Done() bool { return p.done }
+
+// Err returns the operation's failure, if any (nil while pending).
+func (p *PendingOp) Err() error { return p.err }
+
+// Value returns the value a completed read returned, or the value a
+// completed write stored.
+func (p *PendingOp) Value() (int64, error) {
+	if !p.done {
+		return 0, fmt.Errorf("churnreg: operation still pending")
+	}
+	if p.err != nil {
+		return 0, p.err
+	}
+	if p.read && p.val.IsBottom() {
+		return 0, ErrValueUnavailable
+	}
+	return int64(p.val.Val), nil
+}
+
+// SN returns the sequence number attached to the operation's value
+// (-1 while pending, failed, or unavailable).
+func (p *PendingOp) SN() int64 {
+	if !p.done || p.err != nil {
+		return -1
+	}
+	return int64(p.val.SN)
+}
+
+// fail settles a pending op with an error, releasing its shield.
+func (p *PendingOp) fail(err error) {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.err = err
+	p.c.history.Abandon(p.op)
+	p.release()
+}
+
+// release drops the op's churn shield (idempotent).
+func (p *PendingOp) release() {
+	if p.shielded {
+		p.shielded = false
+		p.c.unshield(p.proc)
+	}
+}
+
+func (c *SimCluster) shield(id core.ProcessID) { c.shielded[id]++ }
+func (c *SimCluster) unshield(id core.ProcessID) {
+	if c.shielded[id]--; c.shielded[id] <= 0 {
+		delete(c.shielded, id)
+	}
+}
+
+// StartWriteKey issues a write without driving the simulation and returns
+// its handle. Any number of writes may be in flight — across keys and
+// pipelined on one key (all flow through the designated writer, so the
+// per-key cross-process discipline holds by construction). A failed
+// invocation returns an already-settled handle.
+func (c *SimCluster) StartWriteKey(k RegisterID, v int64) *PendingOp {
+	p := &PendingOp{c: c, key: k}
 	id, err := c.pickWriter()
 	if err != nil {
-		return err
+		p.op = c.history.BeginWriteKey(core.NoProcess, k, c.sys.Now())
+		p.done, p.err = true, err
+		c.history.Abandon(p.op)
+		return p
 	}
+	p.proc = id
 	node := c.sys.Node(id)
-	w, ok := node.(core.KeyedWriter)
-	if !ok {
-		return fmt.Errorf("churnreg: protocol %v cannot write", c.opts.protocol)
+	p.op = c.history.BeginWriteKey(id, k, c.sys.Now())
+	complete := func(vv core.VersionedValue) {
+		if p.done {
+			return
+		}
+		c.history.CompleteWrite(p.op, c.sys.Now(), vv)
+		p.done = true
+		p.val = vv
 	}
-	op := c.history.BeginWriteKey(id, k, c.sys.Now())
-	done := false
-	if err := w.WriteKey(k, core.Value(v), func() {
-		c.history.CompleteWrite(op, c.sys.Now(), core.SnapshotKey(node, k))
-		done = true
-	}); err != nil {
-		c.history.Abandon(op)
-		return fmt.Errorf("churnreg: write %v: %w", k, err)
+	c.shield(id)
+	p.shielded = true
+	c.live = append(c.live, p)
+	switch w := node.(type) {
+	case core.SNWriter:
+		err = w.WriteKeySN(k, core.Value(v), complete)
+	case core.KeyedWriter:
+		// Legacy writer: the snapshot right after completion is this
+		// write's value only when writes are NOT pipelined on the key.
+		err = w.WriteKey(k, core.Value(v), func() { complete(core.SnapshotKey(node, k)) })
+	default:
+		err = fmt.Errorf("churnreg: protocol %v cannot write", c.opts.protocol)
 	}
-	if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
-		c.history.Abandon(op)
-		return fmt.Errorf("churnreg: write %v: %w", k, err)
+	if err != nil {
+		p.fail(fmt.Errorf("churnreg: write %v: %w", k, err))
+	}
+	return p
+}
+
+// StartReadKeyAt issues a read via a specific active process without
+// driving the simulation. Local-read protocols settle immediately; quorum
+// reads settle during Await/Run. Any number may be in flight, on any mix
+// of keys and processes.
+func (c *SimCluster) StartReadKeyAt(id ProcessID, k RegisterID) *PendingOp {
+	p := &PendingOp{c: c, proc: id, key: k, read: true}
+	node := c.sys.Node(id)
+	p.op = c.history.BeginReadKey(id, k, c.sys.Now())
+	if node == nil {
+		p.done, p.err = true, fmt.Errorf("churnreg: %v: %w", id, ErrNoActiveProcess)
+		c.history.Abandon(p.op)
+		return p
+	}
+	complete := func(v core.VersionedValue) {
+		if p.done {
+			return
+		}
+		c.history.CompleteRead(p.op, c.sys.Now(), v)
+		p.done = true
+		p.val = v
+	}
+	c.shield(id)
+	p.shielded = true
+	c.live = append(c.live, p)
+	var err error
+	switch n := node.(type) {
+	case core.KeyedLocalReader:
+		v, rerr := n.ReadLocalKey(k)
+		if rerr != nil {
+			err = rerr
+		} else {
+			complete(v)
+		}
+	case core.KeyedReader:
+		err = n.ReadKey(k, complete)
+	default:
+		err = fmt.Errorf("churnreg: protocol %v cannot read", c.opts.protocol)
+	}
+	if err != nil {
+		p.fail(fmt.Errorf("churnreg: read %v: %w", k, err))
+	}
+	return p
+}
+
+// Await drives the simulation until every given operation settles (or its
+// invoker leaves, or the cluster's op-timeout step budget runs out). It
+// returns the first error among the given handles — individual outcomes
+// stay readable per handle, so pipelined callers can await a whole burst
+// and then inspect each op.
+func (c *SimCluster) Await(pops ...*PendingOp) error {
+	var spent sim.Duration
+	for {
+		pending := 0
+		for _, p := range pops {
+			if p.done {
+				p.release()
+				continue
+			}
+			if !c.sys.Present(p.proc) {
+				p.fail(fmt.Errorf("churnreg: %s %v: invoking process left the system", p.opName(), p.key))
+				continue
+			}
+			pending++
+		}
+		if pending == 0 {
+			break
+		}
+		if spent >= c.stepBudget {
+			for _, p := range pops {
+				p.fail(fmt.Errorf("churnreg: %s %v: no progress after %d ticks (liveness lost?)", p.opName(), p.key, spent))
+			}
+			break
+		}
+		if err := c.sys.RunFor(1); err != nil {
+			c.sweepSettled()
+			return err
+		}
+		spent++
+	}
+	c.sweepSettled()
+	for _, p := range pops {
+		if p.err != nil {
+			return p.err
+		}
 	}
 	return nil
+}
+
+func (p *PendingOp) opName() string {
+	if p.read {
+		return "read"
+	}
+	return "write"
 }
 
 // WriteBatch stores several keys' values with ONE broadcast and one δ
@@ -159,7 +387,7 @@ func (c *SimCluster) WriteBatch(kvs map[RegisterID]int64) error {
 		return err
 	}
 	node := c.sys.Node(id)
-	bw, ok := node.(core.BatchWriter)
+	bw, ok := node.(core.SNBatchWriter)
 	if !ok {
 		return fmt.Errorf("churnreg: protocol %v cannot batch-write", c.opts.protocol)
 	}
@@ -175,9 +403,9 @@ func (c *SimCluster) WriteBatch(kvs map[RegisterID]int64) error {
 		ops[i] = c.history.BeginWriteKey(id, k, c.sys.Now())
 	}
 	done := false
-	if err := bw.WriteBatch(entries, func() {
-		for i, k := range ks {
-			c.history.CompleteWrite(ops[i], c.sys.Now(), core.SnapshotKey(node, k))
+	if err := bw.WriteBatchSN(entries, func(stored []core.KeyedValue) {
+		for i := range ks {
+			c.history.CompleteWrite(ops[i], c.sys.Now(), stored[i].Value)
 		}
 		done = true
 	}); err != nil {
@@ -216,49 +444,26 @@ func (c *SimCluster) ReadAt(id ProcessID) (int64, error) {
 	return c.ReadKeyAt(id, core.DefaultRegister)
 }
 
-// ReadKeyAt reads one register via a specific active process.
+// ReadKeyAt reads one register via a specific active process, blocking
+// until the read returns. Use StartReadKeyAt/Await to pipeline reads.
 func (c *SimCluster) ReadKeyAt(id ProcessID, k RegisterID) (int64, error) {
-	node := c.sys.Node(id)
-	if node == nil {
-		return 0, fmt.Errorf("churnreg: %v: %w", id, ErrNoActiveProcess)
+	p := c.StartReadKeyAt(id, k)
+	if err := c.Await(p); err != nil {
+		return 0, err
 	}
-	op := c.history.BeginReadKey(id, k, c.sys.Now())
-	switch n := node.(type) {
-	case core.KeyedLocalReader:
-		v, err := n.ReadLocalKey(k)
-		if err != nil {
-			c.history.Abandon(op)
-			return 0, fmt.Errorf("churnreg: read %v: %w", k, err)
+	return p.Value()
+}
+
+// PendingOps sums the in-flight operation-table entries across every
+// present node — 0 at quiescence (leak check; see core.OpAccountant).
+func (c *SimCluster) PendingOps() int {
+	total := 0
+	c.sys.ForEachNode(func(_ core.ProcessID, n core.Node) {
+		if a, ok := n.(core.OpAccountant); ok {
+			total += a.PendingOps()
 		}
-		c.history.CompleteRead(op, c.sys.Now(), v)
-		return int64(v.Val), nil
-	case core.KeyedReader:
-		// Shield the reader while the cluster blocks on its quorum read
-		// (the paper's liveness assumes the invoker does not leave).
-		c.shielded[id] = true
-		defer delete(c.shielded, id)
-		var got core.VersionedValue
-		done := false
-		if err := n.ReadKey(k, func(v core.VersionedValue) {
-			got = v
-			c.history.CompleteRead(op, c.sys.Now(), v)
-			done = true
-		}); err != nil {
-			c.history.Abandon(op)
-			return 0, fmt.Errorf("churnreg: read %v: %w", k, err)
-		}
-		if err := c.await(&done, func() bool { return !c.sys.Present(id) }); err != nil {
-			c.history.Abandon(op)
-			return 0, fmt.Errorf("churnreg: read %v: %w", k, err)
-		}
-		if got.IsBottom() {
-			return 0, ErrValueUnavailable
-		}
-		return int64(got.Val), nil
-	default:
-		c.history.Abandon(op)
-		return 0, fmt.Errorf("churnreg: protocol %v cannot read", c.opts.protocol)
-	}
+	})
+	return total
 }
 
 // pickWriter returns a stable active writer, electing a new one when the

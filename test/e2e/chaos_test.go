@@ -51,20 +51,39 @@ type chaosConfig struct {
 	delta    int64
 	tick     string
 	duration time.Duration
+	// inflight is the number of concurrent writer clients (0 or 1 = the
+	// historical sequential writer). All of them write through node 1, so
+	// the per-key cross-process discipline holds while the node itself
+	// pipelines their operations — including several on one key at once.
+	inflight int
+}
+
+// TestE2EChaosPipelined is the inflight=8 regression: eight concurrent
+// writer clients pipeline through node 1 (multiple in-flight writes on
+// one key included) under the full churn schedule, and per-key
+// regularity must still hold from the client-observed history.
+func TestE2EChaosPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs OS processes; skipped in -short")
+	}
+	cfg := chaosConfig{protocol: "esync", delta: 5, tick: "1ms", duration: 4 * time.Second, inflight: 8}
+	runChaos(t, cfg, 7) // pinned regression seed
 }
 
 // TestE2EChaos is the acceptance suite: ≥3 regserve OS processes on
 // random ports run a seeded chaos schedule — concurrent reads, writes and
 // multi-key batches, plus a process join, a graceful departure, and a
 // kill-and-replace, all mid-traffic — and the client-observed histories
-// must be regular on every key.
+// must be regular on every key. -chaos.inflight raises the writer
+// concurrency (default 1 keeps the historical seeds' schedules stable);
+// TestE2EChaosPipelined pins the inflight=8 regression.
 func TestE2EChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs OS processes; skipped in -short")
 	}
 	configs := []chaosConfig{
-		{protocol: "sync", delta: 60, tick: "1ms", duration: 4 * time.Second},
-		{protocol: "esync", delta: 5, tick: "1ms", duration: 4 * time.Second},
+		{protocol: "sync", delta: 60, tick: "1ms", duration: 4 * time.Second, inflight: *chaosInflight},
+		{protocol: "esync", delta: 5, tick: "1ms", duration: 4 * time.Second, inflight: *chaosInflight},
 	}
 	for _, cfg := range configs {
 		for _, seed := range seedsToRun() {
@@ -155,70 +174,81 @@ func runChaos(t *testing.T, cfg chaosConfig, seed int64) {
 		batchesDone    atomic.Uint64
 	)
 
-	// Writer: all writes flow through node 1, serialized, so no key ever
-	// has concurrent writes. Values are unique per operation.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		rng := rand.New(rand.NewSource(seed))
-		counter := int64(0)
-		for !stop.Load() {
-			counter++
-			val := seed*1_000_000 + counter
-			if rng.Intn(5) == 0 {
-				// Multi-key batch: 2-3 distinct keys, one client call.
-				kvs := map[int64]int64{}
-				for len(kvs) < 2+rng.Intn(2) {
-					kvs[rng.Int63n(nKeys)] = val + int64(len(kvs))*1000
-				}
-				ops := map[int64]*spec.Op{}
-				hmu.Lock()
-				for k := range kvs {
-					ops[k] = history.BeginWriteKey(1, core.RegisterID(k), now())
-				}
-				hmu.Unlock()
-				res, err := n1.writeBatch(kvs)
-				end := now()
-				hmu.Lock()
-				if err != nil {
-					for _, op := range ops {
+	// Writers: all writes flow through node 1 — the paper's per-key
+	// discipline across processes holds by construction — while the node
+	// pipelines however many of them are in flight (cfg.inflight workers;
+	// with one worker no key ever has concurrent writes, the historical
+	// schedule). Values are unique per operation across workers, and the
+	// server reports each write's own assigned sn, so the history stays
+	// exact under pipelining.
+	writers := cfg.inflight
+	if writers < 1 {
+		writers = 1
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(worker int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + worker))
+			counter := int64(0)
+			for !stop.Load() {
+				counter++
+				val := seed*100_000_000 + worker*1_000_000 + counter
+				if worker == 0 && rng.Intn(5) == 0 {
+					// Multi-key batch: 2-3 distinct keys, one client call.
+					kvs := map[int64]int64{}
+					for len(kvs) < 2+rng.Intn(2) {
+						kvs[rng.Int63n(nKeys)] = val + int64(len(kvs))*1000
+					}
+					ops := map[int64]*spec.Op{}
+					hmu.Lock()
+					for k := range kvs {
+						ops[k] = history.BeginWriteKey(1, core.RegisterID(k), now())
+					}
+					hmu.Unlock()
+					res, err := n1.writeBatch(kvs)
+					end := now()
+					hmu.Lock()
+					if err != nil {
+						for _, op := range ops {
+							history.Abandon(op)
+						}
+					} else {
+						for k, op := range ops {
+							sn := res.SNs[fmt.Sprint(k)]
+							history.CompleteWrite(op, end, core.VersionedValue{Val: core.Value(kvs[k]), SN: core.SeqNum(sn)})
+						}
+					}
+					hmu.Unlock()
+					if err != nil {
+						t.Errorf("batch write via node 1 failed: %v", err)
+						return
+					}
+					batchesDone.Add(1)
+				} else {
+					k := rng.Int63n(nKeys)
+					hmu.Lock()
+					op := history.BeginWriteKey(1, core.RegisterID(k), now())
+					hmu.Unlock()
+					res, err := n1.write(k, val)
+					end := now()
+					hmu.Lock()
+					if err != nil {
 						history.Abandon(op)
+					} else {
+						history.CompleteWrite(op, end, core.VersionedValue{Val: core.Value(val), SN: core.SeqNum(res.SN)})
 					}
-				} else {
-					for k, op := range ops {
-						sn := res.SNs[fmt.Sprint(k)]
-						history.CompleteWrite(op, end, core.VersionedValue{Val: core.Value(kvs[k]), SN: core.SeqNum(sn)})
+					hmu.Unlock()
+					if err != nil {
+						t.Errorf("write via node 1 failed: %v", err)
+						return
 					}
+					writesDone.Add(1)
 				}
-				hmu.Unlock()
-				if err != nil {
-					t.Errorf("batch write via node 1 failed: %v", err)
-					return
-				}
-				batchesDone.Add(1)
-			} else {
-				k := rng.Int63n(nKeys)
-				hmu.Lock()
-				op := history.BeginWriteKey(1, core.RegisterID(k), now())
-				hmu.Unlock()
-				res, err := n1.write(k, val)
-				end := now()
-				hmu.Lock()
-				if err != nil {
-					history.Abandon(op)
-				} else {
-					history.CompleteWrite(op, end, core.VersionedValue{Val: core.Value(val), SN: core.SeqNum(res.SN)})
-				}
-				hmu.Unlock()
-				if err != nil {
-					t.Errorf("write via node 1 failed: %v", err)
-					return
-				}
-				writesDone.Add(1)
+				time.Sleep(time.Duration(rng.Intn(30)) * time.Millisecond)
 			}
-			time.Sleep(time.Duration(rng.Intn(30)) * time.Millisecond)
-		}
-	}()
+		}(int64(w))
+	}
 
 	// Readers: random alive node EXCEPT the writer (the quorum protocols
 	// serve one operation per key per node at a time, so a client

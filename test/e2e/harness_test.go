@@ -30,6 +30,9 @@ import (
 var chaosSeed = flag.Int64("chaos.seed", 0,
 	"run the chaos schedule with this single seed (0 = the regression seed list)")
 
+var chaosInflight = flag.Int("chaos.inflight", 1,
+	"concurrent writer clients per chaos run (1 = the historical sequential writer, keeping the regression seeds' schedules stable; >1 pipelines writes through the writer node)")
+
 // regressionSeeds pins schedules that exercised distinct interleavings;
 // add a seed here whenever a chaos failure is found and fixed.
 var regressionSeeds = []int64{1, 7}
