@@ -50,6 +50,8 @@ import (
 	"churnreg/internal/core"
 	"churnreg/internal/esyncreg"
 	"churnreg/internal/netsim"
+	"churnreg/internal/placement"
+	"churnreg/internal/shard"
 	"churnreg/internal/sim"
 	"churnreg/internal/syncreg"
 )
@@ -107,6 +109,7 @@ type options struct {
 	policy      churn.RemovePolicy
 	tick        time.Duration
 	opTimeout   time.Duration
+	placement   placement.Config
 }
 
 func defaults() options {
@@ -183,6 +186,22 @@ func WithTick(d time.Duration) Option { return func(o *options) { o.tick = d } }
 // (default 30s; SimCluster converts it to a simulated-step budget).
 func WithOperationTimeout(d time.Duration) Option { return func(o *options) { o.opTimeout = d } }
 
+// WithShards shards the keyspace: RegisterID → one of s shards (via
+// consistent hashing) → a replica group of r processes over the live
+// membership. Each process then holds — and each write's broadcast and
+// quorum reaches — only the R replicas of the key's shard instead of the
+// whole membership, so adding processes adds CAPACITY, not just fault
+// tolerance. Operations invoked on a non-replica are forwarded to the
+// group (reads to any member, writes to the shard primary), and
+// membership changes move exactly the shards whose groups changed
+// (snapshot handoff; see internal/shard). With r < n the per-key quorum
+// shrinks from ⌊n/2⌋+1 to ⌊r/2⌋+1 — the quorum-intersection argument
+// holds per shard. s = 0 (the default) disables sharding: every process
+// replicates every key, the pre-sharding behavior, bit for bit.
+func WithShards(s, r int) Option {
+	return func(o *options) { o.placement = placement.Config{Shards: s, Replication: r} }
+}
+
 func (o options) validate() error {
 	if o.n <= 0 {
 		return fmt.Errorf("churnreg: n = %d, want > 0", o.n)
@@ -203,19 +222,28 @@ func (o options) validate() error {
 			return fmt.Errorf("churnreg: WithInitialKeys must not name register 0 (use WithInitialValue)")
 		}
 	}
+	if err := o.placement.Validate(); err != nil {
+		return fmt.Errorf("churnreg: %w", err)
+	}
 	return nil
 }
 
-// factory returns the protocol node factory for the options.
+// factory returns the protocol node factory for the options, wrapped in
+// the sharding layer when WithShards is in effect.
 func (o options) factory() core.NodeFactory {
+	var f core.NodeFactory
 	switch o.protocol {
 	case EventuallySynchronous:
-		return esyncreg.Factory(esyncreg.Options{})
+		f = esyncreg.Factory(esyncreg.Options{})
 	case StaticABD:
-		return abd.Factory()
+		f = abd.Factory()
 	default:
-		return syncreg.Factory(syncreg.Options{})
+		f = syncreg.Factory(syncreg.Options{})
 	}
+	if o.placement.Enabled() {
+		f = shard.Factory(f)
+	}
+	return f
 }
 
 // model returns the network delay model for the options.

@@ -11,6 +11,10 @@
 //   - pipeline (internal/benchpipe): single-node ops/sec on the live
 //     runtime at in-flight depth 1 vs 16 vs 128 — the concurrent
 //     operation engine's scaling curve. See README "Reading BENCH_*.json".
+//   - shard (internal/benchshard): AGGREGATE ops/sec at cluster sizes
+//     3/6/12 with the keyspace sharded at fixed replication R=3 — the
+//     capacity-scaling curve (per-node client load constant, so growth
+//     with node count is capacity, not just concurrency).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"churnreg/internal/benchpipe"
+	"churnreg/internal/benchshard"
 	"churnreg/internal/sim"
 )
 
@@ -75,6 +80,24 @@ func run(args []string) error {
 	}
 	for depth, s := range rep.Speedup {
 		fmt.Printf("pipeline speedup depth %s vs 1: %.1fx\n", depth, s)
+	}
+
+	srep, err := benchshard.Run(benchshard.Config{
+		Delta: sim.Duration(*delta),
+		Tick:  *tick,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(*out, "BENCH_shard.json"), srep); err != nil {
+		return err
+	}
+	for _, s := range srep.Sizes {
+		fmt.Printf("shard N=%-3d (S=%d R=%d): %8.1f aggregate ops/sec (%d ops in %.2fs)\n",
+			s.Nodes, srep.Shards, srep.Replication, s.OpsPerSec, s.Ops, s.Seconds)
+	}
+	for k, r := range srep.ScalingRatio {
+		fmt.Printf("shard aggregate scaling %s: %.2fx\n", k, r)
 	}
 	return nil
 }

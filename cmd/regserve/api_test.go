@@ -21,6 +21,9 @@ type fakeBackend struct {
 	mu   sync.Mutex
 	vals map[core.RegisterID]core.VersionedValue
 	hold chan struct{}
+	// sharded, when set, makes ShardInfo report a sharded placement (the
+	// /metrics and /health shard-gauge tests use it).
+	sharded bool
 }
 
 func newFakeBackend() *fakeBackend {
@@ -56,10 +59,24 @@ func (f *fakeBackend) WriteBatch(entries []core.KeyedWrite, d time.Duration) ([]
 	return out, nil
 }
 
+// ReadKeyServed attributes every fake read to process 9 — distinct from
+// the api's own id, so the served_by plumbing is observable.
+func (f *fakeBackend) ReadKeyServed(reg core.RegisterID, d time.Duration) (core.VersionedValue, core.ProcessID, error) {
+	v, err := f.ReadKey(reg, d)
+	return v, 9, err
+}
+
 func (f *fakeBackend) Invoke(fn func(core.Node)) error { return nil }
 func (f *fakeBackend) Active() bool                    { return true }
 func (f *fakeBackend) PeerCount() int                  { return 2 }
 func (f *fakeBackend) Addr() string                    { return "fake:0" }
+
+func (f *fakeBackend) ShardInfo() (int, int, int) {
+	if f.sharded {
+		return 16, 6, 3
+	}
+	return 0, 0, 0
+}
 
 func newTestAPI(t *testing.T, b backend) *httptest.Server {
 	t.Helper()
@@ -184,5 +201,54 @@ func TestAPIMetricsEndpoint(t *testing.T) {
 	_, body = get(t, srv.URL+"/metrics")
 	if strings.Contains(body, `regserve_op_inflight{op="write",key="9"}`) {
 		t.Fatalf("in-flight gauge not reclaimed:\n%s", body)
+	}
+}
+
+// TestAPIShardGauges: a sharded backend's placement appears on /metrics
+// (the three shard gauges) and on /health; an unsharded one exposes
+// neither.
+func TestAPIShardGauges(t *testing.T) {
+	b := newFakeBackend()
+	b.sharded = true
+	srv := newTestAPI(t, b)
+	status, body := get(t, srv.URL+"/metrics")
+	if status != 200 {
+		t.Fatalf("metrics status %d", status)
+	}
+	for _, line := range []string{
+		"regserve_shards_total 16",
+		"regserve_shards_owned 6",
+		"regserve_shard_replication 3",
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics output missing %q:\n%s", line, body)
+		}
+	}
+	if status, body := get(t, srv.URL+"/health"); status != 200 || !strings.Contains(body, `"shards":16`) {
+		t.Fatalf("health status %d missing shards: %s", status, body)
+	}
+
+	plain := newTestAPI(t, newFakeBackend())
+	if _, body := get(t, plain.URL+"/metrics"); strings.Contains(body, "regserve_shards_total") {
+		t.Fatalf("unsharded node exposes shard gauges:\n%s", body)
+	}
+}
+
+// TestAPIReadReportsServer: the read response carries served_by — the
+// replica whose copy produced the value (the fake attributes to 9).
+func TestAPIReadReportsServer(t *testing.T) {
+	srv := newTestAPI(t, newFakeBackend())
+	status, body := get(t, srv.URL+"/read?key=3")
+	if status != 200 {
+		t.Fatalf("read status %d: %s", status, body)
+	}
+	var out struct {
+		ServedBy int64 `json:"served_by"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ServedBy != 9 {
+		t.Fatalf("served_by = %d, want 9", out.ServedBy)
 	}
 }

@@ -60,6 +60,8 @@ import (
 	"churnreg/internal/multiwriter"
 	"churnreg/internal/nettransport"
 	"churnreg/internal/nodeops"
+	"churnreg/internal/placement"
+	"churnreg/internal/shard"
 	"churnreg/internal/sim"
 	"churnreg/internal/syncreg"
 )
@@ -73,36 +75,42 @@ func main() {
 
 // serverConfig is the parsed command line.
 type serverConfig struct {
-	id        int64
-	listen    string
-	api       string
-	protocol  string
-	n         int
-	delta     int64
-	tick      time.Duration
-	bootstrap bool
-	initial   int64
-	peers     []string
-	opTimeout time.Duration
-	verbose   bool
+	id          int64
+	listen      string
+	api         string
+	protocol    string
+	n           int
+	delta       int64
+	tick        time.Duration
+	bootstrap   bool
+	initial     int64
+	peers       []string
+	opTimeout   time.Duration
+	verbose     bool
+	shards      int
+	replication int
+	evictAfter  time.Duration
 }
 
 func parseFlags(args []string, errW io.Writer) (*serverConfig, error) {
 	fs := flag.NewFlagSet("regserve", flag.ContinueOnError)
 	fs.SetOutput(errW)
 	var (
-		id        = fs.Int64("id", 0, "unique process id (> 0; never reuse an id)")
-		listen    = fs.String("listen", "127.0.0.1:0", "TCP address for protocol traffic")
-		api       = fs.String("api", "127.0.0.1:0", "HTTP address for the client API")
-		protocol  = fs.String("protocol", "sync", "protocol: sync, esync, abd, or multiwriter")
-		n         = fs.Int("n", 3, "constant system size n known to every process")
-		delta     = fs.Int64("delta", 50, "communication bound δ (ticks)")
-		tick      = fs.Duration("tick", time.Millisecond, "real duration of one tick (δ×tick must exceed network+scheduler slop)")
-		bootstrap = fs.Bool("bootstrap", false, "one of the n initial processes (active at once, holds the initial value)")
-		initial   = fs.Int64("initial", 0, "register 0's initial value (bootstrap only)")
-		peers     = fs.String("peers", "", "comma-separated seed addresses to dial")
-		opTimeout = fs.Duration("op-timeout", 10*time.Second, "client API operation deadline")
-		verbose   = fs.Bool("v", false, "log transport events to stderr")
+		id          = fs.Int64("id", 0, "unique process id (> 0; never reuse an id)")
+		listen      = fs.String("listen", "127.0.0.1:0", "TCP address for protocol traffic")
+		api         = fs.String("api", "127.0.0.1:0", "HTTP address for the client API")
+		protocol    = fs.String("protocol", "sync", "protocol: sync, esync, abd, or multiwriter")
+		n           = fs.Int("n", 3, "constant system size n known to every process")
+		delta       = fs.Int64("delta", 50, "communication bound δ (ticks)")
+		tick        = fs.Duration("tick", time.Millisecond, "real duration of one tick (δ×tick must exceed network+scheduler slop)")
+		bootstrap   = fs.Bool("bootstrap", false, "one of the n initial processes (active at once, holds the initial value)")
+		initial     = fs.Int64("initial", 0, "register 0's initial value (bootstrap only)")
+		peers       = fs.String("peers", "", "comma-separated seed addresses to dial")
+		opTimeout   = fs.Duration("op-timeout", 10*time.Second, "client API operation deadline")
+		verbose     = fs.Bool("v", false, "log transport events to stderr")
+		shards      = fs.Int("shards", 0, "shard the keyspace into this many shards (0 = every node replicates every key); must match across the whole system")
+		replication = fs.Int("replication", 3, "replica group size per shard (with -shards; must match across the whole system)")
+		evictAfter  = fs.Duration("evict-after", 15*time.Second, "drop a peer whose dials have failed continuously for this long (sharded clusters under churn want this low — placement heals only after eviction)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -116,35 +124,55 @@ func parseFlags(args []string, errW io.Writer) (*serverConfig, error) {
 	if *delta < 1 {
 		return nil, fmt.Errorf("-delta must be >= 1 (got %d)", *delta)
 	}
+	if *shards < 0 {
+		return nil, fmt.Errorf("-shards must be >= 0 (got %d)", *shards)
+	}
+	if *shards > 0 && *replication < 1 {
+		return nil, fmt.Errorf("-replication must be >= 1 (got %d)", *replication)
+	}
+	if *shards > 0 && *protocol == "multiwriter" {
+		// The §7 token makes ONE process the writer for every key at a
+		// time; sharding routes each key's writes to its own shard
+		// primary. The two write-authority models contradict each other.
+		return nil, fmt.Errorf("-shards is not supported with -protocol multiwriter (the global write token and per-shard primaries are competing write authorities)")
+	}
 	cfg := &serverConfig{
 		id: *id, listen: *listen, api: *api, protocol: *protocol,
 		n: *n, delta: *delta, tick: *tick, bootstrap: *bootstrap,
 		initial: *initial, opTimeout: *opTimeout, verbose: *verbose,
+		shards: *shards, replication: *replication, evictAfter: *evictAfter,
 	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			cfg.peers = append(cfg.peers, p)
 		}
 	}
-	if _, err := factoryFor(cfg.protocol); err != nil {
+	if _, err := factoryFor(cfg.protocol, cfg.shards > 0); err != nil {
 		return nil, err
 	}
 	return cfg, nil
 }
 
-func factoryFor(protocol string) (core.NodeFactory, error) {
+// factoryFor resolves the protocol factory, wrapped in the sharding
+// layer when the keyspace is sharded.
+func factoryFor(protocol string, sharded bool) (core.NodeFactory, error) {
+	var f core.NodeFactory
 	switch protocol {
 	case "sync":
-		return syncreg.Factory(syncreg.Options{}), nil
+		f = syncreg.Factory(syncreg.Options{})
 	case "esync":
-		return esyncreg.Factory(esyncreg.Options{}), nil
+		f = esyncreg.Factory(esyncreg.Options{})
 	case "abd":
-		return abd.Factory(), nil
+		f = abd.Factory()
 	case "multiwriter":
-		return multiwriter.Factory(), nil
+		f = multiwriter.Factory()
 	default:
 		return nil, fmt.Errorf("unknown protocol %q (want sync, esync, abd, or multiwriter)", protocol)
 	}
+	if sharded {
+		f = shard.Factory(f)
+	}
+	return f, nil
 }
 
 func run(args []string, out, errW io.Writer) error {
@@ -152,7 +180,7 @@ func run(args []string, out, errW io.Writer) error {
 	if err != nil {
 		return err
 	}
-	factory, err := factoryFor(cfg.protocol)
+	factory, err := factoryFor(cfg.protocol, cfg.shards > 0)
 	if err != nil {
 		return err
 	}
@@ -169,6 +197,8 @@ func run(args []string, out, errW io.Writer) error {
 		Factory:    factory,
 		Bootstrap:  cfg.bootstrap,
 		Initial:    core.VersionedValue{Val: core.Value(cfg.initial), SN: 0},
+		EvictAfter: cfg.evictAfter,
+		Placement:  placement.Config{Shards: cfg.shards, Replication: cfg.replication},
 		Logf:       logf,
 	})
 	if err != nil {
@@ -216,12 +246,18 @@ func run(args []string, out, errW io.Writer) error {
 // implementation.
 type backend interface {
 	ReadKey(reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error)
+	// ReadKeyServed also names the process that served the read (this
+	// one, or the replica a sharded node forwarded to).
+	ReadKeyServed(reg core.RegisterID, timeout time.Duration) (core.VersionedValue, core.ProcessID, error)
 	WriteKey(reg core.RegisterID, v core.Value, timeout time.Duration) (core.VersionedValue, error)
 	WriteBatch(entries []core.KeyedWrite, timeout time.Duration) ([]core.KeyedValue, error)
 	Invoke(fn func(core.Node)) error
 	Active() bool
 	PeerCount() int
 	Addr() string
+	// ShardInfo reports (total shards, shards this node replicates,
+	// replication factor); total is 0 when the keyspace is unsharded.
+	ShardInfo() (shards, owned, replication int)
 }
 
 var _ backend = (*nettransport.Transport)(nil)
@@ -250,10 +286,25 @@ func newAPI(cfg *serverConfig, tr backend, leavec chan<- struct{}) http.Handler 
 }
 
 // metrics serves the Prometheus text exposition: per-key in-flight
-// gauges and per-operation latency histograms.
+// gauges, per-operation latency histograms, and — when the keyspace is
+// sharded — the placement gauges (total shards, shards this node
+// replicates, configured replication factor).
 func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	a.ops.WritePrometheus(w)
+	shards, owned, repl := a.tr.ShardInfo()
+	if shards == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP regserve_shards_total Total shards the keyspace hashes onto.\n")
+	fmt.Fprintf(w, "# TYPE regserve_shards_total gauge\n")
+	fmt.Fprintf(w, "regserve_shards_total %d\n", shards)
+	fmt.Fprintf(w, "# HELP regserve_shards_owned Shards this node currently replicates.\n")
+	fmt.Fprintf(w, "# TYPE regserve_shards_owned gauge\n")
+	fmt.Fprintf(w, "regserve_shards_owned %d\n", owned)
+	fmt.Fprintf(w, "# HELP regserve_shard_replication Configured replica group size per shard.\n")
+	fmt.Fprintf(w, "# TYPE regserve_shard_replication gauge\n")
+	fmt.Fprintf(w, "regserve_shard_replication %d\n", repl)
 }
 
 func (a *api) reply(w http.ResponseWriter, status int, v any) {
@@ -276,18 +327,33 @@ func (a *api) replyErr(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, multiwriter.ErrNotHolder):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrUnroutable):
+		// No replica of the key's shard reachable right now; the
+		// operation was NOT applied — clients may retry.
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrUnacknowledged):
+		// A forwarded write went unanswered: it MAY have been applied.
+		// 502 (not 504): the upstream replica, not this node, went dark,
+		// and the ambiguity is the client's to resolve.
+		status = http.StatusBadGateway
 	}
 	a.reply(w, status, map[string]string{"error": err.Error()})
 }
 
 func (a *api) health(w http.ResponseWriter, r *http.Request) {
-	a.reply(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"id":       a.cfg.id,
 		"protocol": a.cfg.protocol,
 		"active":   a.tr.Active(),
 		"peers":    a.tr.PeerCount(),
 		"addr":     a.tr.Addr(),
-	})
+	}
+	if shards, owned, repl := a.tr.ShardInfo(); shards > 0 {
+		out["shards"] = shards
+		out["shards_owned"] = owned
+		out["replication"] = repl
+	}
+	a.reply(w, http.StatusOK, out)
 }
 
 func (a *api) read(w http.ResponseWriter, r *http.Request) {
@@ -297,13 +363,18 @@ func (a *api) read(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	done := a.ops.Begin("read", int64(key))
-	v, err := a.tr.ReadKey(key, a.cfg.opTimeout)
+	v, server, err := a.tr.ReadKeyServed(key, a.cfg.opTimeout)
 	done()
 	if err != nil {
 		a.replyErr(w, err)
 		return
 	}
-	a.reply(w, http.StatusOK, map[string]any{"key": int64(key), "val": int64(v.Val), "sn": int64(v.SN)})
+	// served_by names the replica whose local copy produced the value —
+	// this node, or the group member a sharded node forwarded to. Chaos
+	// clients record it so history attribution survives forwarding.
+	a.reply(w, http.StatusOK, map[string]any{
+		"key": int64(key), "val": int64(v.Val), "sn": int64(v.SN), "served_by": int64(server),
+	})
 }
 
 func (a *api) write(w http.ResponseWriter, r *http.Request) {

@@ -40,6 +40,12 @@ import (
 type op struct {
 	reg core.RegisterID
 
+	// scope/quorum pin the quorum population at invocation: nil scope +
+	// ⌊n/2⌋+1 unsharded, the key's replica group + a majority of it
+	// sharded (core.OpScope).
+	scope  map[core.ProcessID]bool
+	quorum int
+
 	reading     bool
 	readReplies map[core.ProcessID]core.VersionedValue
 	readDone    func(core.VersionedValue)
@@ -167,15 +173,16 @@ func (n *Node) ReadKey(k core.RegisterID, done func(core.VersionedValue)) error 
 	id, o := n.ops.Begin()
 	n.stats.Reads++
 	o.reg = k
+	o.scope, o.quorum = core.OpScope(n.env, k)
 	o.reading = true
 	o.readReplies = make(map[core.ProcessID]core.VersionedValue)
 	o.readDone = done
-	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: core.ReadSeq(id), Reg: k, Op: id})
+	core.ScopedBroadcast(n.env, k, core.ReadMsg{From: n.env.ID(), RSN: core.ReadSeq(id), Reg: k, Op: id})
 	return nil
 }
 
 func (n *Node) checkRead(id core.OpID, o *op) {
-	if !o.reading || len(o.readReplies) < n.majority() {
+	if !o.reading || len(o.readReplies) < o.quorum {
 		return
 	}
 	for _, v := range o.readReplies {
@@ -218,17 +225,18 @@ func (n *Node) WriteKeySN(k core.RegisterID, v core.Value, done func(core.Versio
 	next := core.VersionedValue{Val: v, SN: n.value(k).SN + 1}
 	n.vals.Store(k, next)
 	o.reg = k
+	o.scope, o.quorum = core.OpScope(n.env, k)
 	o.writing = true
 	o.writeVal = next
 	o.writeAck = make(map[core.ProcessID]bool)
 	o.writeDone = done
 	n.ackRoute[ackKey{reg: k, sn: next.SN}] = id
-	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
+	core.ScopedBroadcast(n.env, k, core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
 	return nil
 }
 
 func (n *Node) checkWrite(id core.OpID, o *op) {
-	if !o.writing || len(o.writeAck) < n.majority() {
+	if !o.writing || len(o.writeAck) < o.quorum {
 		return
 	}
 	delete(n.ackRoute, ackKey{reg: o.reg, sn: o.writeVal.SN})
@@ -274,6 +282,9 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 		if !ok || !o.reading || o.reg != msg.Reg {
 			return // stale: the read completed (or never was)
 		}
+		if !core.InScope(o.scope, msg.From) {
+			return // sharded: only replica-group replies feed the quorum
+		}
 		if cur, ok := o.readReplies[msg.From]; !ok || msg.Value.MoreRecent(cur) {
 			o.readReplies[msg.From] = msg.Value
 		}
@@ -284,6 +295,9 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 		n.env.Send(msg.From, core.AckMsg{From: n.env.ID(), SN: msg.Value.SN, Reg: msg.Reg, Op: msg.Op})
 	case core.AckMsg:
 		if id, o, ok := n.writeFor(msg); ok {
+			if !core.InScope(o.scope, msg.From) {
+				return // sharded: only replica-group acks feed the quorum
+			}
 			o.writeAck[msg.From] = true
 			n.checkWrite(id, o)
 		}

@@ -1,0 +1,225 @@
+// Package benchshard measures what sharding buys: AGGREGATE operation
+// throughput as a function of node count at a FIXED replication factor.
+// It runs the synchronous protocol sharded S ways with R replicas on the
+// live (goroutine, wall-clock) runtime, offers every node the same
+// per-node client load — a fixed number of writer clients per node, each
+// writing a key whose shard that node is primary for (smart client-side
+// routing, no forwarding hop) — and reports aggregate ops/sec per
+// cluster size.
+//
+// Unsharded, every write costs n message deliveries and every node
+// stores every key, so adding nodes adds no capacity — aggregate
+// throughput is flat (or worse) in n. Sharded at fixed R, a write costs
+// R deliveries whatever the cluster size and keys spread over the
+// membership, so aggregate throughput grows with the node count — the
+// BENCH_shard.json artifact (via cmd/benchjson) tracks the measured
+// ratio per PR, and this package's own test asserts a conservative
+// scaling floor.
+package benchshard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"churnreg/internal/core"
+	"churnreg/internal/livenet"
+	"churnreg/internal/placement"
+	"churnreg/internal/shard"
+	"churnreg/internal/sim"
+	"churnreg/internal/syncreg"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	// Sizes are the cluster sizes to measure (default 3, 6, 12).
+	Sizes []int
+	// Shards is S (default 32); Replication is R (default 3) — fixed
+	// across every size, which is the point.
+	Shards      int
+	Replication int
+	// Delta is δ in ticks (default 5); Tick its real duration (default
+	// 1ms).
+	Delta sim.Duration
+	Tick  time.Duration
+	// WorkersPerNode is the number of writer clients per node (default
+	// 4), each owning one key that hashes to a shard the node is primary
+	// for.
+	WorkersPerNode int
+	// OpsPerWorker is how many sequential writes each client issues
+	// (default 30).
+	OpsPerWorker int
+	// OpTimeout bounds one operation (default 30s).
+	OpTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{3, 6, 12}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 32
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.Delta <= 0 {
+		c.Delta = 5
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 4
+	}
+	if c.OpsPerWorker <= 0 {
+		c.OpsPerWorker = 30
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+}
+
+// SizeResult is one cluster size's measurement.
+type SizeResult struct {
+	Nodes     int     `json:"nodes"`
+	Workers   int     `json:"workers"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// Report is the machine-readable result (BENCH_shard.json).
+type Report struct {
+	Name           string       `json:"name"`
+	Protocol       string       `json:"protocol"`
+	Shards         int          `json:"shards"`
+	Replication    int          `json:"replication"`
+	DeltaTicks     int64        `json:"delta_ticks"`
+	TickNS         int64        `json:"tick_ns"`
+	WorkersPerNode int          `json:"workers_per_node"`
+	OpsPerWorker   int          `json:"ops_per_worker"`
+	Sizes          []SizeResult `json:"sizes"`
+	// ScalingRatio maps "N=a vs N=b" to the aggregate ops/sec ratio —
+	// the capacity claim in one number (largest vs smallest size).
+	ScalingRatio map[string]float64 `json:"scaling_ratio"`
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) (*Report, error) {
+	cfg.fillDefaults()
+	rep := &Report{
+		Name:           "shard",
+		Protocol:       "sync",
+		Shards:         cfg.Shards,
+		Replication:    cfg.Replication,
+		DeltaTicks:     int64(cfg.Delta),
+		TickNS:         int64(cfg.Tick),
+		WorkersPerNode: cfg.WorkersPerNode,
+		OpsPerWorker:   cfg.OpsPerWorker,
+		ScalingRatio:   map[string]float64{},
+	}
+	for _, n := range cfg.Sizes {
+		res, err := runSize(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sizes = append(rep.Sizes, res)
+	}
+	if len(rep.Sizes) >= 2 {
+		first, last := rep.Sizes[0], rep.Sizes[len(rep.Sizes)-1]
+		if first.OpsPerSec > 0 {
+			key := fmt.Sprintf("N=%d vs N=%d", last.Nodes, first.Nodes)
+			rep.ScalingRatio[key] = last.OpsPerSec / first.OpsPerSec
+		}
+	}
+	return rep, nil
+}
+
+func runSize(cfg Config, n int) (SizeResult, error) {
+	cl, err := livenet.New(livenet.Config{
+		N:       n,
+		Delta:   cfg.Delta,
+		Tick:    cfg.Tick,
+		Factory: shard.Factory(syncreg.Factory(syncreg.Options{})),
+		Seed:    uint64(n),
+		Placement: placement.Config{
+			Shards:      cfg.Shards,
+			Replication: cfg.Replication,
+		},
+	})
+	if err != nil {
+		return SizeResult{}, err
+	}
+	defer cl.Close()
+
+	// Smart routing: each worker owns one key whose shard its node is
+	// PRIMARY for, and writes it at that node — the single-writer-per-
+	// key discipline, spread over the whole membership.
+	view := cl.Placement()
+	if view == nil {
+		return SizeResult{}, fmt.Errorf("benchshard: no placement view")
+	}
+	type assignment struct {
+		node core.ProcessID
+		key  core.RegisterID
+	}
+	// First pass caps each node at WorkersPerNode; a second pass fills
+	// any remainder regardless of cap (a node can be primary for zero
+	// shards when S is small relative to n — its share of the offered
+	// load then lands on the others, which only skews, never blocks).
+	total := n * cfg.WorkersPerNode
+	var work []assignment
+	perNode := make(map[core.ProcessID]int)
+	used := make(map[core.RegisterID]bool)
+	for key := core.RegisterID(0); len(work) < total && key < core.RegisterID(100000); key++ {
+		primary := view.Group(key)[0]
+		if perNode[primary] >= cfg.WorkersPerNode {
+			continue
+		}
+		perNode[primary]++
+		used[key] = true
+		work = append(work, assignment{node: primary, key: key})
+	}
+	for key := core.RegisterID(0); len(work) < total && key < core.RegisterID(100000); key++ {
+		if used[key] {
+			continue
+		}
+		work = append(work, assignment{node: view.Group(key)[0], key: key})
+	}
+	if len(work) < total {
+		return SizeResult{}, fmt.Errorf("benchshard: could not assign %d workers over %d nodes", total, n)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(work))
+	start := time.Now()
+	for _, a := range work {
+		a := a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				if _, err := cl.WriteKey(a.node, a.key, core.Value(i), cfg.OpTimeout); err != nil {
+					errs <- fmt.Errorf("benchshard: n=%d write %v at %v: %w", n, a.key, a.node, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return SizeResult{}, err
+	default:
+	}
+	ops := len(work) * cfg.OpsPerWorker
+	return SizeResult{
+		Nodes:     n,
+		Workers:   len(work),
+		Ops:       ops,
+		Seconds:   elapsed.Seconds(),
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,67 @@
+package benchshard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardScalingFloor asserts the capacity claim conservatively: with
+// per-node client load and replication factor fixed, quadrupling the
+// node count must at least double aggregate throughput. (The ideal
+// ratio is 4x; CI machines are noisy and the live runtime has shared
+// scheduling overhead, so the floor is deliberately lenient — the
+// BENCH_shard.json artifact tracks the real ratio per PR.)
+func TestShardScalingFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock benchmark; skipped in -short")
+	}
+	rep, err := Run(Config{
+		Sizes:          []int{3, 12},
+		Shards:         32,
+		Replication:    3,
+		Delta:          5,
+		Tick:           time.Millisecond,
+		WorkersPerNode: 4,
+		OpsPerWorker:   25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sizes) != 2 {
+		t.Fatalf("sizes = %+v", rep.Sizes)
+	}
+	small, large := rep.Sizes[0], rep.Sizes[1]
+	t.Logf("N=%d: %.1f ops/sec; N=%d: %.1f ops/sec (ratio %.2fx)",
+		small.Nodes, small.OpsPerSec, large.Nodes, large.OpsPerSec, large.OpsPerSec/small.OpsPerSec)
+	if small.OpsPerSec <= 0 || large.OpsPerSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", rep.Sizes)
+	}
+	if ratio := large.OpsPerSec / small.OpsPerSec; ratio < 2.0 {
+		t.Fatalf("aggregate throughput ratio N=12/N=3 = %.2fx, want >= 2x (sharding buys no capacity?)", ratio)
+	}
+}
+
+// TestRunAllSizes smoke-tests the default three-point curve quickly.
+func TestRunAllSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark; skipped in -short")
+	}
+	rep, err := Run(Config{
+		Sizes:          []int{2, 4},
+		Shards:         16,
+		Replication:    2,
+		Delta:          3,
+		Tick:           time.Millisecond,
+		WorkersPerNode: 2,
+		OpsPerWorker:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sizes) != 2 || rep.Sizes[0].Ops != 2*2*5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.ScalingRatio) != 1 {
+		t.Fatalf("scaling ratio missing: %+v", rep.ScalingRatio)
+	}
+}

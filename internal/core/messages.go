@@ -18,6 +18,8 @@ const (
 	KindBeat
 	KindToken
 	KindWriteBatch
+	KindForward
+	KindForwarded
 )
 
 // String returns the paper's message name.
@@ -43,6 +45,10 @@ func (k MsgKind) String() string {
 		return "TOKEN"
 	case KindWriteBatch:
 		return "WRITE_BATCH"
+	case KindForward:
+		return "FORWARD"
+	case KindForwarded:
+		return "FORWARDED"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -259,6 +265,80 @@ func (TokenMsg) Kind() MsgKind { return KindToken }
 // WireSize implements Message.
 func (TokenMsg) WireSize() int { return 12 }
 
+// ForwardCode classifies a FORWARDED outcome.
+type ForwardCode byte
+
+// Forwarded outcome codes. Retriable codes mean the operation was NOT
+// applied at the serving node, so the requester may safely re-route it;
+// ForwardOK carries the result.
+const (
+	// ForwardOK: the operation was served; Value carries the result.
+	ForwardOK ForwardCode = 0
+	// ForwardNotActive: the serving node's join has not returned yet.
+	ForwardNotActive ForwardCode = 1
+	// ForwardBusy: the serving node's operation table is full.
+	ForwardBusy ForwardCode = 2
+	// ForwardWrongReplica: the serving node is not (or no longer) a
+	// replica of the key's shard under its current view.
+	ForwardWrongReplica ForwardCode = 3
+)
+
+// String names the code.
+func (c ForwardCode) String() string {
+	switch c {
+	case ForwardOK:
+		return "OK"
+	case ForwardNotActive:
+		return "NOT_ACTIVE"
+	case ForwardBusy:
+		return "BUSY"
+	case ForwardWrongReplica:
+		return "WRONG_REPLICA"
+	default:
+		return fmt.Sprintf("ForwardCode(%d)", byte(c))
+	}
+}
+
+// ForwardMsg is FORWARD(i, op, k[, v]): a node that is not a replica of
+// key k's shard relays a client operation to a node that is (reads go to
+// any group member, writes to the primary so one process keeps assigning
+// the key's sequence numbers). Op is the REQUESTER's forwarding-table id
+// — a tag in the internal/shard wrapper's own table, disjoint from the
+// inner protocol's operation table — which the answering FORWARDED
+// echoes, exactly the OpID-routed reply discipline every other
+// request/reply pair uses.
+type ForwardMsg struct {
+	From    ProcessID
+	Op      OpID
+	Reg     RegisterID
+	IsWrite bool
+	Val     Value // write payload; ignored for reads
+}
+
+// Kind implements Message.
+func (ForwardMsg) Kind() MsgKind { return KindForward }
+
+// WireSize implements Message.
+func (ForwardMsg) WireSize() int { return 33 }
+
+// ForwardedMsg answers a ForwardMsg: Op echoes the requester's tag,
+// Value carries the operation's result (the value read, or the exact
+// ⟨v, sn⟩ a write stored), and Code reports refusals. From identifies
+// the SERVING replica — history attribution records it.
+type ForwardedMsg struct {
+	From  ProcessID
+	Op    OpID
+	Reg   RegisterID
+	Value VersionedValue
+	Code  ForwardCode
+}
+
+// Kind implements Message.
+func (ForwardedMsg) Kind() MsgKind { return KindForwarded }
+
+// WireSize implements Message.
+func (ForwardedMsg) WireSize() int { return 41 }
+
 // Compile-time interface checks.
 var (
 	_ Message = InquiryMsg{}
@@ -271,4 +351,6 @@ var (
 	_ Message = BeatMsg{}
 	_ Message = TokenMsg{}
 	_ Message = WriteBatchMsg{}
+	_ Message = ForwardMsg{}
+	_ Message = ForwardedMsg{}
 )

@@ -13,6 +13,7 @@ import (
 	"churnreg/internal/churn"
 	"churnreg/internal/core"
 	"churnreg/internal/netsim"
+	"churnreg/internal/placement"
 	"churnreg/internal/sim"
 )
 
@@ -52,6 +53,13 @@ type Config struct {
 	// this set still work: they spring up lazily on first use with the
 	// implicit initial value.
 	Initials []core.KeyedValue
+	// Placement, when enabled, shards the keyspace: the system rebuilds
+	// the placement view over the present processes on every membership
+	// change, exposes it to protocol nodes via core.Placed on their Env,
+	// and notifies placement-aware nodes (the internal/shard wrapper) so
+	// they run shard handoff. The Factory should wrap its protocol with
+	// shard.Factory when this is enabled.
+	Placement placement.Config
 }
 
 // Validate reports configuration errors.
@@ -76,6 +84,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("dynsys: Initials not sorted/unique at %v", kv.Reg)
 		}
 	}
+	if err := c.Placement.Validate(); err != nil {
+		return fmt.Errorf("dynsys: %w", err)
+	}
 	return nil
 }
 
@@ -91,6 +102,11 @@ type System struct {
 	onSpawn    []func(core.ProcessID, core.Node)
 	onKill     []func(core.ProcessID)
 	onActivate []func(core.ProcessID)
+	// view is the current placement over the present processes (nil when
+	// sharding is disabled); booting suppresses per-spawn rebuilds while
+	// the bootstrap population is constructed.
+	view    *placement.View
+	booting bool
 }
 
 // New builds the system and creates the n bootstrap processes, which are
@@ -123,14 +139,40 @@ func New(cfg Config) (*System, error) {
 		}
 		s.engine = eng
 	}
+	s.booting = true
 	for i := 0; i < cfg.N; i++ {
 		s.spawn(core.SpawnContext{Bootstrap: true, Initial: cfg.Initial, InitialKeys: cfg.Initials})
 	}
+	s.booting = false
+	s.refreshPlacement()
 	if s.engine != nil {
 		s.engine.Start()
 	}
 	return s, nil
 }
+
+// refreshPlacement rebuilds the placement view over the present
+// processes and notifies every placement-aware node. Runs after each
+// membership change (and once after bootstrap), inside the simulation's
+// single thread, so nodes observe a consistent sequence of views.
+func (s *System) refreshPlacement() {
+	if !s.cfg.Placement.Enabled() || s.booting {
+		return
+	}
+	members := make([]core.ProcessID, 0, len(s.procs))
+	for id := range s.procs {
+		members = append(members, id)
+	}
+	s.view = placement.Build(s.cfg.Placement, members)
+	s.ForEachNode(func(_ core.ProcessID, n core.Node) {
+		if pa, ok := n.(core.PlacementAware); ok {
+			pa.PlacementChanged(s.view)
+		}
+	})
+}
+
+// Placement returns the current view (nil when unsharded).
+func (s *System) Placement() *placement.View { return s.view }
 
 // Scheduler exposes the event scheduler (experiments schedule workload on
 // it directly).
@@ -196,6 +238,7 @@ func (s *System) spawn(sc core.SpawnContext) *process {
 		s.tracker.Activated(id, s.sched.Now())
 	}
 	p.node.Start()
+	s.refreshPlacement()
 	for _, f := range s.onSpawn {
 		f(id, p.node)
 	}
@@ -213,6 +256,7 @@ func (s *System) KillProcess(id core.ProcessID) {
 	s.net.Detach(id)
 	s.tracker.Departed(id, s.sched.Now())
 	delete(s.procs, id)
+	s.refreshPlacement()
 	for _, f := range s.onKill {
 		f(id)
 	}
@@ -288,8 +332,18 @@ type process struct {
 
 var (
 	_ core.Env        = (*process)(nil)
+	_ core.Placed     = (*process)(nil)
 	_ netsim.Endpoint = (*process)(nil)
 )
+
+// Placement implements core.Placed: the system's current view, nil when
+// sharding is disabled.
+func (p *process) Placement() core.PlacementView {
+	if v := p.sys.view; v != nil {
+		return v
+	}
+	return nil
+}
 
 // ID implements core.Env and netsim.Endpoint.
 func (p *process) ID() core.ProcessID { return p.id }

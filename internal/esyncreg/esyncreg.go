@@ -88,6 +88,15 @@ type reqKey struct {
 type op struct {
 	reg core.RegisterID
 
+	// scope/quorum pin the operation's quorum population at invocation:
+	// unsharded, scope is nil and quorum is ⌊n/2⌋+1; sharded, scope is
+	// the key's replica group and quorum a majority of it — replies and
+	// acks from outside the scope (DL_PREV answerers that joined after
+	// the broadcast, say) never count, preserving the per-shard quorum
+	// intersection (core.OpScope).
+	scope  map[core.ProcessID]bool
+	quorum int
+
 	// Read phase: Figure 5's reading_i / replies_i for a client read, or
 	// Figure 6 line 01's embedded read for a write.
 	reading     bool
@@ -339,6 +348,7 @@ func (n *Node) ReadKey(k core.RegisterID, done func(core.VersionedValue)) error 
 	id, o := n.ops.Begin()
 	n.stats.Reads++
 	o.reg = k
+	o.scope, o.quorum = core.OpScope(n.env, k)
 	o.readDone = done
 	n.startReadPhase(id, o)
 	return nil
@@ -350,8 +360,9 @@ func (n *Node) startReadPhase(id core.OpID, o *op) {
 	// Line 02: replies := ∅; reading := true.
 	o.reading = true
 	o.readReplies = make(map[core.ProcessID]core.VersionedValue)
-	// Line 03: broadcast READ(i, read_sn_i).
-	n.env.Broadcast(core.ReadMsg{From: n.env.ID(), RSN: core.ReadSeq(id), Reg: o.reg, Op: id})
+	// Line 03: broadcast READ(i, read_sn_i) — to the key's replica group
+	// when sharded, the full membership otherwise.
+	core.ScopedBroadcast(n.env, o.reg, core.ReadMsg{From: n.env.ID(), RSN: core.ReadSeq(id), Reg: o.reg, Op: id})
 	// Line 04 is event-driven (checkRead on every REPLY).
 }
 
@@ -359,7 +370,7 @@ func (n *Node) startReadPhase(id core.OpID, o *op) {
 // matching replies arrived (Figure 5 lines 05-07): a client read returns;
 // a write proceeds to SN assignment through its key's FIFO.
 func (n *Node) checkRead(id core.OpID, o *op) {
-	if !o.reading || len(o.readReplies) < n.majority() {
+	if !o.reading || len(o.readReplies) < o.quorum {
 		return
 	}
 	// Lines 05-06: merge the most up-to-date value.
@@ -410,6 +421,7 @@ func (n *Node) WriteKeySN(k core.RegisterID, v core.Value, done func(core.Versio
 	id, o := n.ops.Begin()
 	n.stats.Writes++
 	o.reg = k
+	o.scope, o.quorum = core.OpScope(n.env, k)
 	o.isWrite = true
 	o.writeVal = v
 	o.writeDone = done
@@ -451,8 +463,9 @@ func (n *Node) pumpWrites(k core.RegisterID) {
 		o.writeAck = make(map[core.ProcessID]bool)
 		o.writeBroadcast = true
 		n.ackRoute[ackKey{reg: k, sn: next.SN}] = id
-		// Line 04: broadcast WRITE(i, ⟨v, sn⟩).
-		n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
+		// Line 04: broadcast WRITE(i, ⟨v, sn⟩) — scoped to the key's
+		// replica group when sharded.
+		core.ScopedBroadcast(n.env, k, core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
 		q = q[1:]
 	}
 	if len(q) == 0 {
@@ -465,7 +478,7 @@ func (n *Node) pumpWrites(k core.RegisterID) {
 // checkWrite completes a write once a majority of ACKs arrived (Figure 6
 // line 05).
 func (n *Node) checkWrite(id core.OpID, o *op) {
-	if !o.writeBroadcast || len(o.writeAck) < n.majority() {
+	if !o.writeBroadcast || len(o.writeAck) < o.quorum {
 		return
 	}
 	delete(n.ackRoute, ackKey{reg: o.reg, sn: o.writeSN})
@@ -558,6 +571,12 @@ func (n *Node) handleReply(m core.ReplyMsg) {
 		n.stats.StaleRepliesSeen++
 		return
 	}
+	if !core.InScope(o.scope, m.From) {
+		// Sharded: a replier outside the key's replica group (a DL_PREV
+		// answerer that joined after the broadcast) must not dilute the
+		// per-shard quorum.
+		return
+	}
 	// Line 20: record the reply and acknowledge it. The ACK carries the
 	// register sequence number from the reply (not r_sn): if the replier
 	// is a writer with an in-flight write on this key, this ACK is how
@@ -640,6 +659,9 @@ func (n *Node) handleAck(m core.AckMsg) {
 	o, ok := n.ops.Get(id)
 	if !ok || !o.isWrite || !o.writeBroadcast || o.reg != m.Reg || o.writeSN != m.SN {
 		return
+	}
+	if !core.InScope(o.scope, m.From) {
+		return // sharded: only replica-group acks feed the quorum
 	}
 	o.writeAck[m.From] = true
 	n.checkWrite(id, o)

@@ -32,6 +32,7 @@ import (
 
 	"churnreg/internal/core"
 	"churnreg/internal/nodeops"
+	"churnreg/internal/placement"
 	"churnreg/internal/sim"
 )
 
@@ -64,6 +65,11 @@ type Config struct {
 	// namespace on the bootstrap population (ascending Reg order, no
 	// DefaultRegister entry).
 	Initials []core.KeyedValue
+	// Placement, when enabled, shards the keyspace over the present
+	// processes: the cluster rebuilds the view on every Spawn/Kill and
+	// notifies placement-aware nodes on their loops. Pair it with a
+	// shard.Factory-wrapped protocol factory.
+	Placement placement.Config
 }
 
 // Validate reports configuration errors.
@@ -76,6 +82,9 @@ func (c Config) Validate() error {
 	}
 	if c.Factory == nil {
 		return fmt.Errorf("livenet: nil factory")
+	}
+	if err := c.Placement.Validate(); err != nil {
+		return fmt.Errorf("livenet: %w", err)
 	}
 	return nil
 }
@@ -90,6 +99,11 @@ type Cluster struct {
 	nextID core.ProcessID
 	rng    *sim.RNG
 	closed bool
+	// view is the current placement over the present processes (nil when
+	// sharding is disabled); viewSeq stamps successive views so node
+	// loops can discard out-of-order deliveries. Both guarded by mu.
+	view    *placement.View
+	viewSeq uint64
 
 	wg sync.WaitGroup
 }
@@ -111,7 +125,38 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.N; i++ {
 		c.spawnLocked(core.SpawnContext{Bootstrap: true, Initial: cfg.Initial, InitialKeys: cfg.Initials})
 	}
+	c.mu.Lock()
+	c.refreshPlacementLocked()
+	c.mu.Unlock()
 	return c, nil
+}
+
+// refreshPlacementLocked rebuilds the view over the present processes
+// and posts PlacementChanged to every node's loop. Caller holds mu.
+func (c *Cluster) refreshPlacementLocked() {
+	if !c.cfg.Placement.Enabled() {
+		return
+	}
+	members := make([]core.ProcessID, 0, len(c.procs))
+	for id := range c.procs {
+		members = append(members, id)
+	}
+	view := placement.Build(c.cfg.Placement, members)
+	c.viewSeq++
+	if view != nil {
+		view.SetVersion(c.viewSeq)
+	}
+	c.view = view
+	// Posted from goroutines so a full mailbox cannot deadlock against
+	// mu; the version stamp makes out-of-order arrival harmless.
+	for _, p := range c.procs {
+		p := p
+		go p.enqueue(func() {
+			if pa, ok := p.node.(core.PlacementAware); ok {
+				pa.PlacementChanged(view)
+			}
+		})
+	}
 }
 
 // Close shuts down every process and waits for their loops to exit.
@@ -130,6 +175,15 @@ func (c *Cluster) Close() {
 	c.wg.Wait()
 }
 
+// Placement returns the cluster's current placement view (nil when
+// sharding is disabled) — clients use it for smart routing: sending a
+// key's writes straight to its shard primary skips the forwarding hop.
+func (c *Cluster) Placement() *placement.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view
+}
+
 // Spawn adds a fresh process (its join starts immediately) and returns its
 // identity.
 func (c *Cluster) Spawn() (core.ProcessID, error) {
@@ -139,6 +193,7 @@ func (c *Cluster) Spawn() (core.ProcessID, error) {
 		return core.NoProcess, ErrClosed
 	}
 	p := c.spawnLocked(core.SpawnContext{})
+	c.refreshPlacementLocked()
 	return p.id, nil
 }
 
@@ -168,6 +223,7 @@ func (c *Cluster) Kill(id core.ProcessID) error {
 	}
 	p.stop()
 	delete(c.procs, id)
+	c.refreshPlacementLocked()
 	return nil
 }
 
@@ -287,7 +343,21 @@ type proc struct {
 	stopped sync.Once
 }
 
-var _ core.Env = (*proc)(nil)
+var (
+	_ core.Env    = (*proc)(nil)
+	_ core.Placed = (*proc)(nil)
+)
+
+// Placement implements core.Placed: the cluster's current view, nil
+// when sharding is disabled.
+func (p *proc) Placement() core.PlacementView {
+	p.c.mu.Lock()
+	defer p.c.mu.Unlock()
+	if v := p.c.view; v != nil {
+		return v
+	}
+	return nil
+}
 
 func (p *proc) loop(wg *sync.WaitGroup) {
 	defer wg.Done()

@@ -59,6 +59,7 @@ import (
 
 	"churnreg/internal/core"
 	"churnreg/internal/nodeops"
+	"churnreg/internal/placement"
 	"churnreg/internal/sim"
 	"churnreg/internal/wire"
 )
@@ -113,6 +114,14 @@ type Config struct {
 	EvictAfter time.Duration
 	// Logf, when set, receives transport-level diagnostics.
 	Logf func(format string, args ...any)
+	// Placement, when enabled, shards the keyspace: the transport
+	// rebuilds the placement view from its identified address book (plus
+	// itself) whenever a peer is learned, leaves, or is evicted, exposes
+	// it to the protocol via core.Placed, and notifies the node (the
+	// internal/shard wrapper) on its loop. Pair with a shard.Factory-
+	// wrapped Factory; every process of one system must agree on the
+	// Shards/Replication numbers (like N, they are deployment constants).
+	Placement placement.Config
 }
 
 func (c *Config) fillDefaults() error {
@@ -145,6 +154,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if err := c.Placement.Validate(); err != nil {
+		return fmt.Errorf("nettransport: %w", err)
 	}
 	return nil
 }
@@ -183,6 +195,13 @@ type Transport struct {
 	// learned while this process's join is still running (see package
 	// comment); nil once active.
 	pendingInquiry []byte
+	// viewSeq stamps successive placement views (guarded by mu).
+	viewSeq uint64
+
+	// view is the current placement over the identified peers plus self
+	// (nil when sharding is disabled). Written under mu, read lock-free
+	// by the protocol on the loop goroutine.
+	view atomic.Pointer[placement.View]
 
 	active atomic.Bool
 	stats  Stats
@@ -257,6 +276,10 @@ func (t *Transport) Start(seeds []string) {
 		if n > 0 {
 			t.awaitHandshakes(n)
 		}
+		// Publish the placement over whatever membership the handshakes
+		// discovered (just self for a seedless bootstrap) before the
+		// protocol starts.
+		t.refreshPlacement()
 		t.enqueue(func() { t.node.Start() })
 	}()
 }
@@ -406,6 +429,17 @@ func (t *Transport) ReadKey(reg core.RegisterID, timeout time.Duration) (core.Ve
 	return nodeops.ReadKey(t.invoker(), reg, timeout)
 }
 
+// ReadKeyServed is ReadKey plus the process that served the read: this
+// process for local/quorum serves, the answering replica for forwarded
+// reads on a sharded node.
+func (t *Transport) ReadKeyServed(reg core.RegisterID, timeout time.Duration) (core.VersionedValue, core.ProcessID, error) {
+	v, server, err := nodeops.ReadKeyServed(t.invoker(), reg, timeout)
+	if err == nil && server == core.NoProcess {
+		server = t.cfg.ID
+	}
+	return v, server, err
+}
+
 // WriteKey runs a write of one register, waits for it to return ok, and
 // reports the exact ⟨v, sn⟩ it stored. Safe for concurrent callers: each
 // call pipelines as its own operation on the node.
@@ -516,6 +550,57 @@ func (t *Transport) MarkActive() {
 	t.mu.Lock()
 	t.pendingInquiry = nil
 	t.mu.Unlock()
+}
+
+// Placement implements core.Placed: the current view over the
+// identified peers plus self, nil when sharding is disabled.
+func (t *Transport) Placement() core.PlacementView {
+	if v := t.view.Load(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// ShardInfo reports the placement configuration and this node's share of
+// it under the current view: total shards (0 when unsharded), shards
+// this node replicates, and the configured replication factor.
+func (t *Transport) ShardInfo() (shards, owned, replication int) {
+	if !t.cfg.Placement.Enabled() {
+		return 0, 0, 0
+	}
+	v := t.view.Load()
+	if v == nil {
+		return t.cfg.Placement.Shards, 0, t.cfg.Placement.Replication
+	}
+	return v.NumShards(), v.OwnedCount(t.cfg.ID), t.cfg.Placement.Replication
+}
+
+// refreshPlacement rebuilds the placement view from the identified
+// address book plus self, publishes it for the protocol's lock-free
+// reads, and posts PlacementChanged to the node's loop. Called whenever
+// a peer is learned, leaves, or is evicted.
+func (t *Transport) refreshPlacement() {
+	if !t.cfg.Placement.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	members := make([]core.ProcessID, 0, len(t.byID)+1)
+	members = append(members, t.cfg.ID)
+	for id := range t.byID {
+		members = append(members, id)
+	}
+	view := placement.Build(t.cfg.Placement, members)
+	t.viewSeq++
+	if view != nil {
+		view.SetVersion(t.viewSeq)
+	}
+	t.view.Store(view)
+	t.mu.Unlock()
+	t.enqueue(func() {
+		if pa, ok := t.node.(core.PlacementAware); ok {
+			pa.PlacementChanged(t.Placement())
+		}
+	})
 }
 
 // ---- internals ----
@@ -653,6 +738,7 @@ func (t *Transport) learnPeer(id core.ProcessID, addr string) {
 		// the addr index exists, then nothing to announce.
 		t.ensurePeerLocked(id, addr)
 		t.mu.Unlock()
+		t.refreshPlacement()
 		return
 	}
 	p := t.ensurePeerLocked(id, addr)
@@ -682,6 +768,7 @@ func (t *Transport) learnPeer(id core.ProcessID, addr string) {
 	if pending != nil && !t.active.Load() {
 		p.send(t, pending)
 	}
+	t.refreshPlacement()
 }
 
 // evictPeer removes a peer its own writer has proven unreachable for
@@ -697,6 +784,7 @@ func (t *Transport) evictPeer(p *peer) {
 	t.mu.Unlock()
 	t.cfg.Logf("nettransport %v: evicted unreachable peer %v at %s", t.cfg.ID, p.id, p.addr)
 	p.stop()
+	t.refreshPlacement()
 }
 
 // forgetPeer removes a departed process: its writer stops redialing.
@@ -711,6 +799,7 @@ func (t *Transport) forgetPeer(id core.ProcessID) {
 	if p != nil {
 		t.cfg.Logf("nettransport %v: peer %v left", t.cfg.ID, id)
 		p.stop()
+		t.refreshPlacement()
 	}
 }
 

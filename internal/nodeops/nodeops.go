@@ -38,19 +38,43 @@ type Invoke func(fn func(core.Node)) error
 // ReadKey runs a read of one register and waits for its result, routing to
 // the protocol's local or quorum read as available.
 func ReadKey(inv Invoke, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, error) {
-	res := make(chan core.VersionedValue, 1)
+	v, _, err := ReadKeyServed(inv, reg, timeout)
+	return v, err
+}
+
+// ReadKeyServed is ReadKey plus the identity of the process that SERVED
+// the read: NoProcess for node-local and quorum reads (the node itself;
+// the caller knows its id), the answering replica for reads a sharded
+// node forwarded (core.ServedReader). History recorders attribute the
+// read to the server, not the relay.
+func ReadKeyServed(inv Invoke, reg core.RegisterID, timeout time.Duration) (core.VersionedValue, core.ProcessID, error) {
+	type served struct {
+		v      core.VersionedValue
+		server core.ProcessID
+	}
+	res := make(chan served, 1)
 	errc := make(chan error, 1)
 	err := inv(func(n core.Node) {
 		switch r := n.(type) {
+		case core.ServedReader:
+			if err := r.ReadKeyServed(reg, func(v core.VersionedValue, server core.ProcessID, err error) {
+				if err != nil {
+					errc <- err
+					return
+				}
+				res <- served{v: v, server: server}
+			}); err != nil {
+				errc <- err
+			}
 		case core.KeyedLocalReader:
 			v, err := r.ReadLocalKey(reg)
 			if err != nil {
 				errc <- err
 				return
 			}
-			res <- v
+			res <- served{v: v}
 		case core.KeyedReader:
-			if err := r.ReadKey(reg, func(v core.VersionedValue) { res <- v }); err != nil {
+			if err := r.ReadKey(reg, func(v core.VersionedValue) { res <- served{v: v} }); err != nil {
 				errc <- err
 			}
 		case core.LocalReader:
@@ -63,13 +87,13 @@ func ReadKey(inv Invoke, reg core.RegisterID, timeout time.Duration) (core.Versi
 				errc <- err
 				return
 			}
-			res <- v
+			res <- served{v: v}
 		case core.Reader:
 			if reg != core.DefaultRegister {
 				errc <- fmt.Errorf("nodeops: node %T cannot read %v", n, reg)
 				return
 			}
-			if err := r.Read(func(v core.VersionedValue) { res <- v }); err != nil {
+			if err := r.Read(func(v core.VersionedValue) { res <- served{v: v} }); err != nil {
 				errc <- err
 			}
 		default:
@@ -77,17 +101,17 @@ func ReadKey(inv Invoke, reg core.RegisterID, timeout time.Duration) (core.Versi
 		}
 	})
 	if err != nil {
-		return core.Bottom(), err
+		return core.Bottom(), core.NoProcess, err
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case v := <-res:
-		return v, nil
+	case s := <-res:
+		return s.v, s.server, nil
 	case err := <-errc:
-		return core.Bottom(), err
+		return core.Bottom(), core.NoProcess, err
 	case <-timer.C:
-		return core.Bottom(), ErrTimeout
+		return core.Bottom(), core.NoProcess, ErrTimeout
 	}
 }
 
@@ -103,6 +127,19 @@ func WriteKey(inv Invoke, reg core.RegisterID, v core.Value, timeout time.Durati
 	errc := make(chan error, 1)
 	err := inv(func(n core.Node) {
 		switch w := n.(type) {
+		case core.FallibleSNWriter:
+			// Sharded nodes: the write may fail after invocation (a
+			// forward refused or unacknowledged), so the callback
+			// carries the error channel too.
+			if err := w.WriteKeySNErr(reg, v, func(vv core.VersionedValue, werr error) {
+				if werr != nil {
+					errc <- werr
+					return
+				}
+				done <- vv
+			}); err != nil {
+				errc <- err
+			}
 		case core.SNWriter:
 			if err := w.WriteKeySN(reg, v, func(vv core.VersionedValue) { done <- vv }); err != nil {
 				errc <- err
@@ -157,6 +194,18 @@ func WriteBatch(inv Invoke, entries []core.KeyedWrite, timeout time.Duration) ([
 	done := make(chan []core.KeyedValue, 1)
 	errc := make(chan error, 1)
 	err := inv(func(n core.Node) {
+		if bw, ok := n.(core.FallibleSNBatchWriter); ok {
+			if err := bw.WriteBatchSNErr(entries, func(kvs []core.KeyedValue, werr error) {
+				if werr != nil {
+					errc <- werr
+					return
+				}
+				done <- kvs
+			}); err != nil {
+				errc <- err
+			}
+			return
+		}
 		if bw, ok := n.(core.SNBatchWriter); ok {
 			if err := bw.WriteBatchSN(entries, func(kvs []core.KeyedValue) { done <- kvs }); err != nil {
 				errc <- err

@@ -1,0 +1,253 @@
+// Package placement is the deterministic keyspace→replica mapping behind
+// sharding: RegisterID → shard → replica group of size R over the current
+// membership, via consistent hashing in its rendezvous (highest-random-
+// weight) form. Every node computes the same View from the same member
+// set with no coordination, and a membership change moves only the shards
+// whose top-R scoring changed — the minimal-movement property that keeps
+// handoff traffic proportional to churn, not to the keyspace.
+//
+// The View is immutable: runtimes build a fresh one per membership change
+// and swap it in, so protocol code can snapshot a consistent mapping per
+// operation. Which processes count as "members" is the runtime's choice
+// (the simulator uses present processes; the TCP transport uses its
+// identified address book plus itself) — eventual agreement on membership
+// yields eventual agreement on placement, and the internal/shard handoff
+// machinery covers the disagreement window.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"churnreg/internal/core"
+)
+
+// Config enables sharding when Shards > 0.
+type Config struct {
+	// Shards is S, the fixed number of shards the keyspace hashes onto.
+	// 0 disables sharding (every node replicates every key).
+	Shards int
+	// Replication is R, the replica group size per shard (capped by the
+	// member count while the system is smaller than R).
+	Replication int
+}
+
+// Enabled reports whether the config turns sharding on.
+func (c Config) Enabled() bool { return c.Shards > 0 }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("placement: shards = %d, want >= 0", c.Shards)
+	}
+	if c.Shards > 0 && c.Replication < 1 {
+		return fmt.Errorf("placement: replication = %d, want >= 1 when sharded", c.Replication)
+	}
+	return nil
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
+// mixer; placement only needs determinism and spread, not cryptography.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf maps a register to its shard in [0, shards): the key hashes
+// through mix64 so adjacent RegisterIDs land on unrelated shards.
+func ShardOf(reg core.RegisterID, shards int) int {
+	return int(mix64(uint64(reg)) % uint64(shards))
+}
+
+// score is one (member, shard) rendezvous weight: the member with the
+// highest score owns the shard as primary, the next R-1 are its replicas.
+func score(shard int, id core.ProcessID) uint64 {
+	return mix64(mix64(uint64(shard)+0x9e3779b97f4a7c15) ^ mix64(uint64(id)))
+}
+
+// View is one immutable placement over a member set. It implements
+// core.PlacementView.
+type View struct {
+	cfg     Config
+	members []core.ProcessID       // ascending
+	groups  [][]core.ProcessID     // per shard, priority order (primary first)
+	owned   map[core.ProcessID]int // shards owned per member (for gauges)
+	version uint64
+}
+
+var _ core.PlacementView = (*View)(nil)
+
+// Build computes the placement of every shard over members. The member
+// slice is copied and sorted; duplicate ids are tolerated (deduped).
+// Returns nil when the config disables sharding or members is empty —
+// callers treat a nil view as "unsharded".
+func Build(cfg Config, members []core.ProcessID) *View {
+	if !cfg.Enabled() || len(members) == 0 {
+		return nil
+	}
+	ms := append([]core.ProcessID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	dedup := ms[:0]
+	for i, id := range ms {
+		if i == 0 || id != ms[i-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	ms = dedup
+	v := &View{
+		cfg:     cfg,
+		members: ms,
+		groups:  make([][]core.ProcessID, cfg.Shards),
+		owned:   make(map[core.ProcessID]int, len(ms)),
+	}
+	r := cfg.Replication
+	if r > len(ms) {
+		r = len(ms)
+	}
+	type scored struct {
+		id core.ProcessID
+		w  uint64
+	}
+	ranked := make([]scored, len(ms))
+	for s := 0; s < cfg.Shards; s++ {
+		for i, id := range ms {
+			ranked[i] = scored{id: id, w: score(s, id)}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].w != ranked[j].w {
+				return ranked[i].w > ranked[j].w
+			}
+			return ranked[i].id < ranked[j].id
+		})
+		g := make([]core.ProcessID, r)
+		for i := 0; i < r; i++ {
+			g[i] = ranked[i].id
+			v.owned[ranked[i].id]++
+		}
+		v.groups[s] = g
+	}
+	return v
+}
+
+// SetVersion stamps the view with a runtime-monotone sequence number,
+// letting receivers discard a view delivered out of order (concurrent
+// runtimes post views to node loops asynchronously). Call before
+// publishing the view; 0 means unversioned.
+func (v *View) SetVersion(ver uint64) { v.version = ver }
+
+// ViewVersion returns the stamp set by SetVersion.
+func (v *View) ViewVersion() uint64 { return v.version }
+
+// NumShards implements core.PlacementView.
+func (v *View) NumShards() int { return v.cfg.Shards }
+
+// Replication returns the configured R (groups are smaller only while
+// the membership is).
+func (v *View) Replication() int { return v.cfg.Replication }
+
+// ShardOf implements core.PlacementView.
+func (v *View) ShardOf(reg core.RegisterID) int { return ShardOf(reg, v.cfg.Shards) }
+
+// GroupFor implements core.PlacementView: the shard's replica group in
+// priority order, primary first. Callers must not mutate the slice.
+func (v *View) GroupFor(shard int) []core.ProcessID { return v.groups[shard] }
+
+// Group implements core.PlacementView.
+func (v *View) Group(reg core.RegisterID) []core.ProcessID {
+	return v.groups[v.ShardOf(reg)]
+}
+
+// IsReplica implements core.PlacementView.
+func (v *View) IsReplica(reg core.RegisterID, id core.ProcessID) bool {
+	for _, m := range v.Group(reg) {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Members implements core.PlacementView.
+func (v *View) Members() []core.ProcessID { return v.members }
+
+// Primary returns the shard's first-priority replica.
+func (v *View) Primary(shard int) core.ProcessID { return v.groups[shard][0] }
+
+// OwnedCount returns how many shards id replicates under this view.
+func (v *View) OwnedCount(id core.ProcessID) int { return v.owned[id] }
+
+// OwnedShards returns the shards id replicates, ascending.
+func (v *View) OwnedShards(id core.ProcessID) []int {
+	var out []int
+	for s, g := range v.groups {
+		for _, m := range g {
+			if m == id {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Gained returns the shards id replicates under v but did not under old
+// (all of id's shards when old is nil). This is the handoff work list a
+// view change hands the internal/shard wrapper. Interface-typed so the
+// wrapper's production path and these tests share one implementation.
+func Gained(old, v core.PlacementView, id core.ProcessID) []int {
+	if v == nil {
+		return nil
+	}
+	var out []int
+	for s := 0; s < v.NumShards(); s++ {
+		if !contains(v.GroupFor(s), id) {
+			continue
+		}
+		if old == nil || !contains(old.GroupFor(s), id) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Donors returns the processes able to seed shard s's state for a node
+// that just gained it: the union of the shard's old and new replica
+// groups, intersected with the new view's membership, excluding self.
+// Ascending, deduped. This is the production donor set the
+// internal/shard handoff uses.
+func Donors(old, v core.PlacementView, shard int, self core.ProcessID) []core.ProcessID {
+	members := v.Members()
+	present := make(map[core.ProcessID]bool, len(members))
+	for _, id := range members {
+		present[id] = true
+	}
+	seen := make(map[core.ProcessID]bool)
+	var out []core.ProcessID
+	add := func(ids []core.ProcessID) {
+		for _, id := range ids {
+			if id != self && present[id] && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	add(v.GroupFor(shard))
+	if old != nil && shard < old.NumShards() {
+		add(old.GroupFor(shard))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func contains(ids []core.ProcessID, id core.ProcessID) bool {
+	for _, m := range ids {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,908 @@
+// Package shard turns any register protocol into a SHARDED one: a
+// placement-aware wrapper node that routes client operations to the
+// replica group of each key's shard, answers operations forwarded from
+// non-replicas, and runs the shard handoff state exchange when membership
+// changes move shards between nodes.
+//
+// # Division of labor
+//
+// Sharding has three parts, and this package owns exactly one of them:
+//
+//   - internal/placement computes WHO replicates each shard (consistent
+//     hashing over the membership; runtimes rebuild the view on every
+//     membership change and hand it to both the protocols, via
+//     core.Placed on their Env, and to this wrapper, via
+//     core.PlacementAware).
+//   - The protocol engines (syncreg/esyncreg/abd/multiwriter) scope their
+//     per-register traffic and quorums to the replica group themselves
+//     (core.ScopedBroadcast / core.OpScope): a WRITE for a key reaches R
+//     nodes, not n, and its quorum is a majority of R.
+//   - This wrapper decides WHERE a client operation runs, keeps
+//     non-replicas from serving keys they do not hold, and moves shard
+//     state when placement changes.
+//
+// # Routing
+//
+// A read of key k is served locally when this node is in k's replica
+// group (the synchronous protocol's fast local read stays fast, now on
+// 1/S of the keyspace per shard owned); otherwise it is forwarded —
+// FORWARD(op, k) to a group member, FORWARDED(op, value) back, routed by
+// the wrapper's own operation table exactly like every other
+// request/reply pair. Reads are idempotent, so a forward that goes
+// unanswered (its target died) retries against the next group member.
+//
+// A write of key k always runs at the shard's PRIMARY (the group's
+// first-priority member), because sequence-number assignment for a key
+// must stay in one process's hands at a time — the same per-key
+// single-writer discipline the paper's protocols assume, now enforced
+// per shard by routing. A node that is not the primary forwards, and a
+// node asked to serve a write it is no longer primary for refuses
+// (WRONG_REPLICA) rather than minting a conflicting sequence number. An
+// unanswered forwarded write is NOT retried: the serving primary may have
+// applied it before dying, so the wrapper surfaces core.ErrUnacknowledged
+// and lets the client decide — re-issuing blindly could write one value
+// under two sequence numbers.
+//
+// # Handoff
+//
+// When a view change makes this node a replica of a shard it did not
+// hold, the shard is PENDING: operations on it queue while the wrapper
+// asks the shard's previous and current replicas (the donors) for their
+// state — INQUIRY(HandoffReadSeq, shard) answered by a full snapshot
+// REPLY, the same batched-snapshot machinery a join uses, intercepted by
+// the donor's wrapper so it works identically over every protocol. The
+// snapshot's entries for pending shards are replayed into the inner node
+// as synthetic WRITE deliveries (monotone per-key merge — always safe).
+// The shard becomes ready once a majority of its donors answered: any
+// completed write on the shard reached a majority of the old group, and
+// majorities intersect, so the freshest value is in the merged state.
+// Donors that die mid-handoff are dropped from the requirement as the
+// membership view catches up (each retry round recomputes the donor set
+// against current members, and after a few silent rounds the wrapper
+// accepts any single answer rather than stalling forever — a liveness/
+// completeness trade documented in ARCHITECTURE.md).
+//
+// Nodes entering the system fresh (a join) run the same handoff for every
+// shard they own on their first view: the paper's join INQUIRY collects a
+// majority of the WHOLE system, which no longer necessarily intersects a
+// per-shard write quorum once R < n — the per-shard handoff restores
+// exactly that intersection. Bootstrap processes skip it (they hold the
+// initial state by definition).
+package shard
+
+import (
+	"churnreg/internal/core"
+	"churnreg/internal/placement"
+	"churnreg/internal/sim"
+)
+
+// Tunables (in ticks of the runtime's clock, scaled by δ so one set of
+// constants serves both the synchronous and quorum protocols).
+const (
+	// fwdTimeoutDeltas: a forwarded operation unanswered for this many δ
+	// is presumed lost (reads retry, writes fail ErrUnacknowledged).
+	fwdTimeoutDeltas = 10
+	// fwdTimeoutSlack is added on top, covering quorum round-trips that
+	// are not δ-bounded (the eventually synchronous protocol).
+	fwdTimeoutSlack = 50
+	// maxFwdAttempts bounds read re-routing and explicit-refusal retries.
+	maxFwdAttempts = 6
+	// retryDelayTicks spaces retries after an explicit refusal.
+	retryDelayTicks = 2
+	// handoffRetryDeltas spaces handoff re-inquiry rounds.
+	handoffRetryDeltas = 3
+	// handoffRelaxAfter is the number of silent retry rounds after which
+	// a single donor answer marks the shard ready (donors presumed dead
+	// but not yet evicted from the membership view).
+	handoffRelaxAfter = 3
+)
+
+// fwdOp is one forwarded client operation awaiting its FORWARDED answer.
+type fwdOp struct {
+	reg      core.RegisterID
+	isWrite  bool
+	val      core.Value
+	attempts int
+	// sentTo is the replica the current attempt targets (diagnostics).
+	sentTo    core.ProcessID
+	readDone  func(core.VersionedValue, core.ProcessID, error)
+	writeDone func(core.VersionedValue, error)
+}
+
+// shardState tracks one owned shard: ready to serve, or pending handoff.
+type shardState struct {
+	ready  bool
+	donors []core.ProcessID
+	got    map[core.ProcessID]bool
+	rounds int
+	// queue holds operations (local client ops and forwarded serves)
+	// blocked on this shard becoming ready; flushed in arrival order.
+	queue []func()
+}
+
+// Node wraps an inner protocol node with shard routing and handoff. It
+// is driven by the same single-threaded runtime contract as every
+// protocol node — no locks.
+type Node struct {
+	env   core.Env
+	inner core.Node
+
+	// view is the latest placement this node was told about; nil until
+	// the runtime pushes one (the wrapper delegates everything until
+	// then, so an unsharded runtime pays nothing).
+	view        core.PlacementView
+	sawView     bool
+	viewVersion uint64
+	// bootstrap marks one of the initial processes: its first view needs
+	// no handoff (it holds the initial state by definition).
+	bootstrap bool
+
+	// shards holds state for every owned shard.
+	shards map[int]*shardState
+	// fwd is the wrapper's own operation table for forwarded ops.
+	fwd *core.OpTable[fwdOp]
+
+	stats Stats
+}
+
+// Stats counts wrapper activity at this node.
+type Stats struct {
+	LocalReads       uint64
+	ForwardedReads   uint64
+	LocalWrites      uint64
+	ForwardedWrites  uint64
+	ForwardsServed   uint64
+	ForwardsRefused  uint64
+	HandoffsStarted  uint64 // shards that entered pending state
+	HandoffsComplete uint64
+	HandoffSnapshots uint64 // donor snapshots merged
+}
+
+// Factory wraps a protocol factory: every node the runtime spawns is a
+// sharding wrapper around the inner protocol node.
+func Factory(inner core.NodeFactory) core.NodeFactory {
+	return func(env core.Env, sc core.SpawnContext) core.Node {
+		return New(env, sc, inner)
+	}
+}
+
+// New builds a wrapper around inner's node for this process.
+func New(env core.Env, sc core.SpawnContext, inner core.NodeFactory) *Node {
+	return &Node{
+		env:       env,
+		inner:     inner(env, sc),
+		bootstrap: sc.Bootstrap,
+		shards:    make(map[int]*shardState),
+		fwd:       core.NewOpTable[fwdOp](0),
+	}
+}
+
+// Inner exposes the wrapped protocol node (stats, tests).
+func (n *Node) Inner() core.Node { return n.inner }
+
+// Stats returns a copy of the wrapper's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Compile-time interface checks.
+var (
+	_ core.Node                  = (*Node)(nil)
+	_ core.KeyedReader           = (*Node)(nil)
+	_ core.KeyedWriter           = (*Node)(nil)
+	_ core.SNWriter              = (*Node)(nil)
+	_ core.ServedReader          = (*Node)(nil)
+	_ core.FallibleSNWriter      = (*Node)(nil)
+	_ core.FallibleSNBatchWriter = (*Node)(nil)
+	_ core.KeyedSnapshotter      = (*Node)(nil)
+	_ core.OpAccountant          = (*Node)(nil)
+	_ core.Joiner                = (*Node)(nil)
+	_ core.PlacementAware        = (*Node)(nil)
+)
+
+// ---- core.Node ----
+
+// Start implements core.Node.
+func (n *Node) Start() { n.inner.Start() }
+
+// Active implements core.Node.
+func (n *Node) Active() bool { return n.inner.Active() }
+
+// Snapshot implements core.Node.
+func (n *Node) Snapshot() core.VersionedValue { return n.inner.Snapshot() }
+
+// Deliver implements core.Node: wrapper traffic (forwards, handoff) is
+// consumed here; everything else flows to the inner protocol.
+func (n *Node) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case core.ForwardMsg:
+		n.handleForward(msg)
+		return
+	case core.ForwardedMsg:
+		n.handleForwarded(msg)
+		return
+	case core.InquiryMsg:
+		if msg.RSN == core.HandoffReadSeq {
+			n.handleHandoffInquiry(msg)
+			return
+		}
+	case core.ReplyMsg:
+		if msg.RSN == core.HandoffReadSeq {
+			n.handleHandoffReply(msg)
+			return
+		}
+	}
+	n.inner.Deliver(from, m)
+}
+
+// ---- delegation ----
+
+// OnJoined implements core.Joiner, also flushing shard queues blocked on
+// the join (operations gated only on activation, not handoff).
+func (n *Node) OnJoined(done func()) {
+	if j, ok := n.inner.(core.Joiner); ok {
+		j.OnJoined(done)
+		return
+	}
+	if done != nil && n.inner.Active() {
+		done()
+	}
+}
+
+// SnapshotKey implements core.KeyedSnapshotter.
+func (n *Node) SnapshotKey(k core.RegisterID) core.VersionedValue {
+	return core.SnapshotKey(n.inner, k)
+}
+
+// Keys implements core.KeyedSnapshotter.
+func (n *Node) Keys() []core.RegisterID {
+	if s, ok := n.inner.(core.KeyedSnapshotter); ok {
+		return s.Keys()
+	}
+	return nil
+}
+
+// PendingOps implements core.OpAccountant: the inner table plus the
+// wrapper's forwarding table plus queued (shard-blocked) operations.
+func (n *Node) PendingOps() int {
+	total := n.fwd.Len()
+	if a, ok := n.inner.(core.OpAccountant); ok {
+		total += a.PendingOps()
+	}
+	for _, st := range n.shards {
+		total += len(st.queue)
+	}
+	return total
+}
+
+// ---- placement ----
+
+// PlacementChanged implements core.PlacementAware: adopt the new view,
+// start handoff for gained shards, drop state for lost ones. Views
+// stamped with a version (placement.View.SetVersion) are applied in
+// stamp order; a stale one — possible when a concurrent runtime posts
+// views to the node loop asynchronously — is dropped.
+func (n *Node) PlacementChanged(view core.PlacementView) {
+	if vv, ok := view.(interface{ ViewVersion() uint64 }); ok {
+		ver := vv.ViewVersion()
+		if ver != 0 {
+			if ver <= n.viewVersion {
+				return
+			}
+			n.viewVersion = ver
+		}
+	}
+	old := n.view
+	first := !n.sawView
+	n.view = view
+	n.sawView = true
+	if view == nil {
+		return
+	}
+	self := n.env.ID()
+	owned := make(map[int]bool)
+	for s := 0; s < view.NumShards(); s++ {
+		if containsID(view.GroupFor(s), self) {
+			owned[s] = true
+		}
+	}
+	// Lost shards: re-dispatch anything queued on them (it forwards now).
+	for s, st := range n.shards {
+		if !owned[s] {
+			q := st.queue
+			st.queue = nil
+			delete(n.shards, s)
+			for _, fn := range q {
+				fn()
+			}
+		}
+	}
+	for s := range owned {
+		st := n.shards[s]
+		if st != nil {
+			if !st.ready {
+				// Pending handoff continues; refresh the donor set
+				// against the new view so dead donors stop being
+				// required.
+				st.donors = donorsFor(old, view, s, self)
+				n.checkHandoffReady(s, st)
+			}
+			continue
+		}
+		st = &shardState{}
+		n.shards[s] = st
+		if first && n.bootstrap {
+			// Bootstrap population: the initial state is already here.
+			st.ready = true
+			continue
+		}
+		st.donors = donorsFor(old, view, s, self)
+		st.got = make(map[core.ProcessID]bool)
+		if len(st.donors) == 0 {
+			// Nobody to ask (first process in, or every holder gone):
+			// serve with what we have.
+			st.ready = true
+			continue
+		}
+		n.stats.HandoffsStarted++
+		n.sendHandoffInquiries(s, st)
+		n.scheduleHandoffRetry(s, st)
+	}
+}
+
+// Placement returns the wrapper's current view (tests).
+func (n *Node) Placement() core.PlacementView { return n.view }
+
+// donorsFor computes the processes able to seed shard s: the union of
+// the shard's groups under the old and new views, restricted to the new
+// view's members, excluding self (placement.Donors).
+func donorsFor(old, v core.PlacementView, s int, self core.ProcessID) []core.ProcessID {
+	return placement.Donors(old, v, s, self)
+}
+
+func (n *Node) sendHandoffInquiries(s int, st *shardState) {
+	for _, d := range st.donors {
+		if !st.got[d] {
+			n.env.Send(d, core.InquiryMsg{From: n.env.ID(), RSN: core.HandoffReadSeq, Op: core.OpID(s)})
+		}
+	}
+}
+
+// scheduleHandoffRetry arms one retry round for the pending shard. The
+// timer is bound to THIS shardState by pointer identity: if the shard
+// is lost and later regained, the new state starts its own chain and
+// the stale timer dies — otherwise two chains would double-count silent
+// rounds and reach the single-donor relaxation early.
+func (n *Node) scheduleHandoffRetry(s int, st *shardState) {
+	n.env.After(handoffRetryDeltas*n.env.Delta()+1, func() {
+		if n.shards[s] != st || st.ready {
+			return
+		}
+		st.rounds++
+		if n.view != nil {
+			st.donors = donorsFor(nil, n.view, s, n.env.ID())
+		}
+		if n.checkHandoffReady(s, st) {
+			return
+		}
+		n.sendHandoffInquiries(s, st)
+		n.scheduleHandoffRetry(s, st)
+	})
+}
+
+// handoffNeed returns how many donor answers shard s still requires: a
+// majority of its (live) donors, relaxed to one answer after several
+// silent rounds.
+func (st *shardState) handoffNeed() int {
+	need := len(st.donors)/2 + 1
+	if st.rounds >= handoffRelaxAfter && need > 1 {
+		need = 1
+	}
+	if need > len(st.donors) {
+		need = len(st.donors)
+	}
+	return need
+}
+
+// checkHandoffReady marks the shard ready once enough donors answered
+// (or none remain to ask), flushing its queue. Reports readiness.
+func (n *Node) checkHandoffReady(s int, st *shardState) bool {
+	if st.ready {
+		return true
+	}
+	answered := 0
+	for _, d := range st.donors {
+		if st.got[d] {
+			answered++
+		}
+	}
+	if len(st.donors) > 0 && answered < st.handoffNeed() {
+		return false
+	}
+	st.ready = true
+	st.got = nil
+	n.stats.HandoffsComplete++
+	q := st.queue
+	st.queue = nil
+	for _, fn := range q {
+		fn()
+	}
+	return true
+}
+
+// handleHandoffInquiry answers a gaining node's state request with a
+// snapshot of the inner node's copies for the REQUESTED shard (m.Op is
+// the shard tag; shard counts are deployment constants, so the donor's
+// own view computes the same ShardOf) — only when active (a joining
+// donor's state is partial; the requester's retry rounds cover the
+// silence). Filtering at the donor keeps handoff traffic proportional
+// to the keys that moved, not to the whole keyspace; without a view
+// yet, the full snapshot goes out and the requester filters instead.
+func (n *Node) handleHandoffInquiry(m core.InquiryMsg) {
+	if !n.inner.Active() {
+		return
+	}
+	s, ok := n.inner.(core.KeyedSnapshotter)
+	if !ok {
+		return
+	}
+	shard := int(m.Op)
+	inShard := func(k core.RegisterID) bool {
+		return n.view == nil || n.view.ShardOf(k) == shard
+	}
+	reply := core.ReplyMsg{
+		From:  n.env.ID(),
+		Value: core.Bottom(),
+		RSN:   core.HandoffReadSeq,
+		Reg:   core.DefaultRegister,
+		Op:    m.Op, // echoes the requester's shard tag
+	}
+	if inShard(core.DefaultRegister) {
+		reply.Value = core.SnapshotKey(n.inner, core.DefaultRegister)
+	}
+	for _, k := range s.Keys() {
+		if k == core.DefaultRegister || !inShard(k) {
+			continue
+		}
+		reply.Rest = append(reply.Rest, core.KeyedValue{Reg: k, Value: s.SnapshotKey(k)})
+	}
+	n.env.Send(m.From, reply)
+}
+
+// handleHandoffReply merges a donor's snapshot into the inner node —
+// synthetic WRITE deliveries, a monotone per-key merge every protocol
+// already implements — and advances the shard's readiness.
+func (n *Node) handleHandoffReply(m core.ReplyMsg) {
+	s := int(m.Op)
+	st := n.shards[s]
+	if st == nil || st.ready {
+		return
+	}
+	n.stats.HandoffSnapshots++
+	m.Entries(func(k core.RegisterID, v core.VersionedValue) {
+		if v.IsBottom() {
+			return
+		}
+		if n.view != nil && n.view.ShardOf(k) != s && !n.pendingShard(n.view.ShardOf(k)) {
+			// Keep the merge to shards this node is (or is becoming) a
+			// replica of — storage hygiene, not correctness.
+			return
+		}
+		n.inner.Deliver(m.From, core.WriteMsg{From: m.From, Value: v, Reg: k, Op: core.NoOp})
+	})
+	st.got[m.From] = true
+	n.checkHandoffReady(s, st)
+}
+
+// pendingShard reports whether s is owned and still pending handoff.
+func (n *Node) pendingShard(s int) bool {
+	st := n.shards[s]
+	return st != nil && !st.ready
+}
+
+// ---- client operations ----
+
+// ReadKey implements core.KeyedReader (compat shim over ReadKeyServed;
+// routing failures surface as a ⊥ result).
+func (n *Node) ReadKey(reg core.RegisterID, done func(core.VersionedValue)) error {
+	return n.ReadKeyServed(reg, func(v core.VersionedValue, _ core.ProcessID, err error) {
+		if done == nil {
+			return
+		}
+		if err != nil {
+			done(core.Bottom())
+			return
+		}
+		done(v)
+	})
+}
+
+// ReadKeyServed implements core.ServedReader: serve locally when this
+// node replicates the key's shard, else forward to a group member. The
+// invocation only fails on backpressure (full forwarding table); every
+// later outcome — including routing failure — arrives through done.
+func (n *Node) ReadKeyServed(reg core.RegisterID, done func(core.VersionedValue, core.ProcessID, error)) error {
+	if n.view == nil {
+		return n.serveReadLocal(reg, done)
+	}
+	if n.fwd.Full() {
+		return core.ErrOpInProgress
+	}
+	n.dispatchRead(reg, 0, done)
+	return nil
+}
+
+// serveReadLocal runs the read on the inner node.
+func (n *Node) serveReadLocal(reg core.RegisterID, done func(core.VersionedValue, core.ProcessID, error)) error {
+	self := n.env.ID()
+	switch r := n.inner.(type) {
+	case core.KeyedLocalReader:
+		v, err := r.ReadLocalKey(reg)
+		if err != nil {
+			return err
+		}
+		done(v, self, nil)
+		return nil
+	case core.KeyedReader:
+		return r.ReadKey(reg, func(v core.VersionedValue) { done(v, self, nil) })
+	default:
+		return core.ErrUnroutable
+	}
+}
+
+// dispatchRead routes one read attempt. Runs on the node loop; never
+// returns an error — outcomes flow through done.
+func (n *Node) dispatchRead(reg core.RegisterID, attempt int, done func(core.VersionedValue, core.ProcessID, error)) {
+	v := n.view
+	if v == nil {
+		if err := n.serveReadLocal(reg, done); err != nil {
+			done(core.Bottom(), core.NoProcess, err)
+		}
+		return
+	}
+	g := v.Group(reg)
+	if len(g) == 0 {
+		done(core.Bottom(), core.NoProcess, core.ErrUnroutable)
+		return
+	}
+	self := n.env.ID()
+	shard := v.ShardOf(reg)
+	if containsID(g, self) {
+		if n.pendingShard(shard) {
+			n.queueOnShard(shard, func() { n.dispatchRead(reg, attempt, done) })
+			return
+		}
+		if n.inner.Active() {
+			n.stats.LocalReads++
+			if err := n.serveReadLocal(reg, done); err != nil {
+				done(core.Bottom(), core.NoProcess, err)
+			}
+			return
+		}
+		// Not active yet: fall through and forward to another replica
+		// (the joiner's clients should not wait out the whole join).
+	}
+	if attempt >= maxFwdAttempts {
+		done(core.Bottom(), core.NoProcess, core.ErrUnroutable)
+		return
+	}
+	// Rotate through the group so a dead primary does not blackhole
+	// reads while eviction catches up.
+	var target core.ProcessID
+	picked := false
+	for i := 0; i < len(g); i++ {
+		t := g[(attempt+i)%len(g)]
+		if t != self {
+			target = t
+			picked = true
+			break
+		}
+	}
+	if !picked {
+		done(core.Bottom(), core.NoProcess, core.ErrUnroutable)
+		return
+	}
+	n.stats.ForwardedReads++
+	n.forward(reg, attempt, target, fwdOp{reg: reg, readDone: done})
+}
+
+// WriteKey implements core.KeyedWriter (compat shim).
+func (n *Node) WriteKey(reg core.RegisterID, v core.Value, done func()) error {
+	return n.WriteKeySNErr(reg, v, func(_ core.VersionedValue, err error) {
+		if done != nil && err == nil {
+			done()
+		}
+	})
+}
+
+// WriteKeySN implements core.SNWriter (compat shim; routing failures
+// surface as a ⊥ result).
+func (n *Node) WriteKeySN(reg core.RegisterID, v core.Value, done func(core.VersionedValue)) error {
+	return n.WriteKeySNErr(reg, v, func(vv core.VersionedValue, err error) {
+		if done == nil {
+			return
+		}
+		if err != nil {
+			done(core.Bottom())
+			return
+		}
+		done(vv)
+	})
+}
+
+// WriteKeySNErr implements core.FallibleSNWriter: serve locally when
+// this node is the key's shard primary, else forward to the primary.
+func (n *Node) WriteKeySNErr(reg core.RegisterID, v core.Value, done func(core.VersionedValue, error)) error {
+	if n.view == nil {
+		return n.serveWriteLocal(reg, v, done)
+	}
+	if n.fwd.Full() {
+		return core.ErrOpInProgress
+	}
+	n.dispatchWrite(reg, v, 0, done)
+	return nil
+}
+
+// serveWriteLocal runs the write on the inner node.
+func (n *Node) serveWriteLocal(reg core.RegisterID, v core.Value, done func(core.VersionedValue, error)) error {
+	switch w := n.inner.(type) {
+	case core.SNWriter:
+		return w.WriteKeySN(reg, v, func(vv core.VersionedValue) { done(vv, nil) })
+	case core.KeyedWriter:
+		return w.WriteKey(reg, v, func() { done(core.SnapshotKey(n.inner, reg), nil) })
+	default:
+		return core.ErrUnroutable
+	}
+}
+
+// dispatchWrite routes one write attempt to the key's primary.
+func (n *Node) dispatchWrite(reg core.RegisterID, v core.Value, attempt int, done func(core.VersionedValue, error)) {
+	view := n.view
+	if view == nil {
+		if err := n.serveWriteLocal(reg, v, done); err != nil {
+			done(core.Bottom(), err)
+		}
+		return
+	}
+	g := view.Group(reg)
+	if len(g) == 0 {
+		done(core.Bottom(), core.ErrUnroutable)
+		return
+	}
+	self := n.env.ID()
+	shard := view.ShardOf(reg)
+	if g[0] == self {
+		if n.pendingShard(shard) {
+			n.queueOnShard(shard, func() { n.dispatchWrite(reg, v, attempt, done) })
+			return
+		}
+		n.stats.LocalWrites++
+		if err := n.serveWriteLocal(reg, v, done); err != nil {
+			done(core.Bottom(), err)
+		}
+		return
+	}
+	if attempt >= maxFwdAttempts {
+		done(core.Bottom(), core.ErrUnroutable)
+		return
+	}
+	n.stats.ForwardedWrites++
+	n.forward(reg, attempt, g[0], fwdOp{reg: reg, isWrite: true, val: v, writeDone: done})
+}
+
+// WriteBatchSNErr implements core.FallibleSNBatchWriter: a batch whose
+// every key lives in ONE shard this node is primary for (and ready)
+// keeps the inner protocol's one-broadcast dividend — the broadcast
+// reaches exactly that shard's group; any other batch decomposes into
+// per-key writes, each routed independently. (Same-primary keys from
+// DIFFERENT shards also decompose: one batched broadcast to the union
+// of their groups would store every key on every union member, leaking
+// the per-shard capacity bound.) done reports the stored ⟨v, sn⟩ per
+// entry, or the most severe error.
+func (n *Node) WriteBatchSNErr(entries []core.KeyedWrite, done func([]core.KeyedValue, error)) error {
+	if n.view != nil {
+		allLocal := len(entries) > 0
+		firstShard := -1
+		for i, e := range entries {
+			s := n.view.ShardOf(e.Reg)
+			if i == 0 {
+				firstShard = s
+			}
+			if s != firstShard || n.view.Group(e.Reg)[0] != n.env.ID() || n.pendingShard(s) {
+				allLocal = false
+				break
+			}
+		}
+		if !allLocal {
+			// Decompose: each entry routes to its own shard primary.
+			// Every entry settles through the one accounting path — a
+			// synchronous invocation failure settles its entry too,
+			// never orphaning entries already dispatched (their
+			// forwards may still be applied). The reported error
+			// prefers ErrUnacknowledged over clean refusals: ambiguity
+			// dominates, because the caller's safe reaction to "maybe
+			// applied" covers "definitely not applied" but not vice
+			// versa.
+			out := make([]core.KeyedValue, len(entries))
+			remaining := len(entries)
+			var failed error
+			settle := func(i int, reg core.RegisterID, vv core.VersionedValue, err error) {
+				if err != nil && (failed == nil || err == core.ErrUnacknowledged) {
+					failed = err
+				}
+				out[i] = core.KeyedValue{Reg: reg, Value: vv}
+				if remaining--; remaining == 0 {
+					done(out, failed)
+				}
+			}
+			for i, e := range entries {
+				i, e := i, e
+				err := n.WriteKeySNErr(e.Reg, e.Val, func(vv core.VersionedValue, err error) {
+					settle(i, e.Reg, vv, err)
+				})
+				if err != nil {
+					settle(i, e.Reg, core.Bottom(), err)
+				}
+			}
+			return nil
+		}
+	}
+	if bw, ok := n.inner.(core.SNBatchWriter); ok {
+		return bw.WriteBatchSN(entries, func(kvs []core.KeyedValue) { done(kvs, nil) })
+	}
+	out := make([]core.KeyedValue, len(entries))
+	remaining := len(entries)
+	for i, e := range entries {
+		i, e := i, e
+		if err := n.serveWriteLocal(e.Reg, e.Val, func(vv core.VersionedValue, err error) {
+			out[i] = core.KeyedValue{Reg: e.Reg, Value: vv}
+			if remaining--; remaining == 0 {
+				done(out, err)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queueOnShard parks an operation until the shard's handoff completes.
+func (n *Node) queueOnShard(s int, fn func()) {
+	st := n.shards[s]
+	if st == nil || st.ready {
+		fn()
+		return
+	}
+	st.queue = append(st.queue, fn)
+}
+
+// ---- forwarding ----
+
+// forward registers op in the wrapper table and sends FORWARD to target,
+// arming the loss timer.
+func (n *Node) forward(reg core.RegisterID, attempt int, target core.ProcessID, op fwdOp) {
+	id, o := n.fwd.Begin()
+	*o = op
+	o.attempts = attempt
+	o.sentTo = target
+	n.env.Send(target, core.ForwardMsg{From: n.env.ID(), Op: id, Reg: reg, IsWrite: o.isWrite, Val: o.val})
+	n.armFwdTimer(id)
+}
+
+func (n *Node) fwdTimeout() sim.Duration {
+	return fwdTimeoutDeltas*n.env.Delta() + fwdTimeoutSlack
+}
+
+func (n *Node) armFwdTimer(id core.OpID) {
+	n.env.After(n.fwdTimeout(), func() {
+		o, ok := n.fwd.Get(id)
+		if !ok {
+			return
+		}
+		n.fwd.Finish(id)
+		if o.isWrite {
+			// The target may have applied the write and died before
+			// answering — ambiguous, so no blind retry.
+			o.writeDone(core.Bottom(), core.ErrUnacknowledged)
+			return
+		}
+		// Reads are idempotent: try the next replica.
+		n.dispatchRead(o.reg, o.attempts+1, o.readDone)
+	})
+}
+
+// handleForward serves (or refuses) an operation forwarded to this node.
+func (n *Node) handleForward(m core.ForwardMsg) {
+	refuse := func(code core.ForwardCode) {
+		n.stats.ForwardsRefused++
+		n.env.Send(m.From, core.ForwardedMsg{From: n.env.ID(), Op: m.Op, Reg: m.Reg, Code: code})
+	}
+	v := n.view
+	if v == nil || !v.IsReplica(m.Reg, n.env.ID()) {
+		refuse(core.ForwardWrongReplica)
+		return
+	}
+	if m.IsWrite && v.Group(m.Reg)[0] != n.env.ID() {
+		// Only the CURRENT primary assigns a key's sequence numbers; a
+		// requester with a stale view must re-route, not split the
+		// write stream across two nodes.
+		refuse(core.ForwardWrongReplica)
+		return
+	}
+	shard := v.ShardOf(m.Reg)
+	if n.pendingShard(shard) {
+		n.queueOnShard(shard, func() { n.handleForward(m) })
+		return
+	}
+	if !n.inner.Active() {
+		refuse(core.ForwardNotActive)
+		return
+	}
+	reply := func(vv core.VersionedValue) {
+		n.stats.ForwardsServed++
+		n.env.Send(m.From, core.ForwardedMsg{From: n.env.ID(), Op: m.Op, Reg: m.Reg, Value: vv})
+	}
+	var err error
+	if m.IsWrite {
+		err = n.serveWriteLocal(m.Reg, m.Val, func(vv core.VersionedValue, serr error) {
+			if serr != nil {
+				refuse(core.ForwardBusy)
+				return
+			}
+			reply(vv)
+		})
+	} else {
+		err = n.serveReadLocal(m.Reg, func(vv core.VersionedValue, _ core.ProcessID, serr error) {
+			if serr != nil {
+				refuse(core.ForwardBusy)
+				return
+			}
+			reply(vv)
+		})
+	}
+	if err != nil {
+		switch err {
+		case core.ErrNotActive:
+			refuse(core.ForwardNotActive)
+		case core.ErrOpInProgress:
+			refuse(core.ForwardBusy)
+		default:
+			refuse(core.ForwardWrongReplica)
+		}
+	}
+}
+
+// handleForwarded routes a forward's answer to its waiting operation.
+func (n *Node) handleForwarded(m core.ForwardedMsg) {
+	o, ok := n.fwd.Get(m.Op)
+	if !ok || o.reg != m.Reg {
+		return // stale: timed out, retried, or never existed
+	}
+	n.fwd.Finish(m.Op)
+	if m.Code == core.ForwardOK {
+		if o.isWrite {
+			o.writeDone(m.Value, nil)
+		} else {
+			o.readDone(m.Value, m.From, nil)
+		}
+		return
+	}
+	// Explicit refusal: the operation was NOT applied, so retrying is
+	// safe for writes too. Space the retry out and re-resolve routing
+	// (the refusal usually means our view lags the server's).
+	attempt := o.attempts + 1
+	n.env.After(retryDelayTicks, func() {
+		if o.isWrite {
+			n.dispatchWrite(o.reg, o.val, attempt, o.writeDone)
+		} else {
+			n.dispatchRead(o.reg, attempt, o.readDone)
+		}
+	})
+}
+
+func containsID(ids []core.ProcessID, id core.ProcessID) bool {
+	for _, m := range ids {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}

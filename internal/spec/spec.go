@@ -50,6 +50,13 @@ func (k OpKind) String() string {
 type Op struct {
 	Kind OpKind
 	Proc core.ProcessID
+	// Server is the process that actually SERVED the operation when it
+	// differs from the invoking Proc — a sharded cluster forwards an
+	// operation invoked at a non-replica to a replica of the key's
+	// shard, and attribution must name the replica that produced the
+	// value, not the relay. NoProcess means "served by Proc itself".
+	// Recorded via History.SetServer.
+	Server core.ProcessID
 	// Reg is the register the operation addressed (DefaultRegister for
 	// the single-register API). Every checker partitions by Reg: each key
 	// of the namespace is its own regular register, and a violation on
@@ -67,6 +74,15 @@ type Op struct {
 	// The paper's liveness property only covers invokers that stay, so
 	// abandoned operations are excluded from liveness accounting.
 	Abandoned bool
+}
+
+// ServedBy returns the process whose local state produced the
+// operation's result: Server when recorded, else the invoking Proc.
+func (o *Op) ServedBy() core.ProcessID {
+	if o.Server != core.NoProcess {
+		return o.Server
+	}
+	return o.Proc
 }
 
 // overlaps reports whether the operation's interval intersects [s, e].
@@ -161,6 +177,38 @@ func (h *History) CompleteRead(op *Op, now sim.Time, v core.VersionedValue) {
 	op.End = now
 	op.Value = v
 	op.Completed = true
+}
+
+// ResolveValue records the ⟨v, sn⟩ a still-PENDING write is later known
+// to have stored, without completing it. This is the post-hoc resolution
+// for AMBIGUOUS writes: a forwarded write whose serving replica died
+// before acknowledging may or may not have been applied
+// (core.ErrUnacknowledged), and the client learns the outcome only by
+// observing the value in subsequent reads. Recording the observed
+// ⟨v, sn⟩ keeps the op incomplete — concurrent with everything after its
+// invocation, exactly a regular register's semantics for a write that
+// never returned — while giving the checker the sequence number those
+// reads legitimately returned (allowedSNs admits incomplete writes with
+// recorded values). An ambiguous write whose value is NEVER observed
+// needs no resolution: no read returned it, so no read needs it allowed.
+func (h *History) ResolveValue(op *Op, v core.VersionedValue) {
+	if op == nil || op.Completed || op.Abandoned {
+		return
+	}
+	op.Value = v
+}
+
+// SetServer records the replica that actually served op (see Op.Server).
+// Under forwarding, attributing the result to the relay would make the
+// per-process monotone-reads check unsound: one client's successive
+// reads may legally be served by different replicas whose local copies
+// advance independently, so "reads never go backwards" is a property of
+// the SERVING replica's copy, not of the relay.
+func (h *History) SetServer(op *Op, server core.ProcessID) {
+	if op == nil || server == op.Proc {
+		return
+	}
+	op.Server = server
 }
 
 // Abandon marks a pending operation as abandoned (its invoker left).
@@ -505,6 +553,10 @@ func (h *History) FindInversions() []Inversion {
 // with an older value), but whatever a read returned, every read
 // responding after it must return at least as new a value.
 func (h *History) CheckMonotoneReads() []Violation {
+	// Reads are grouped by the process that SERVED them (Op.ServedBy):
+	// under forwarding, one client's reads may be served by different
+	// replicas, and the monotone invariant belongs to each replica's
+	// local copy.
 	type procKey struct {
 		proc core.ProcessID
 		reg  core.RegisterID
@@ -515,7 +567,7 @@ func (h *History) CheckMonotoneReads() []Violation {
 		if r.Kind != OpRead || !r.Completed {
 			continue
 		}
-		pk := procKey{proc: r.Proc, reg: r.Reg}
+		pk := procKey{proc: r.ServedBy(), reg: r.Reg}
 		if _, ok := byProc[pk]; !ok {
 			keys = append(keys, pk)
 		}

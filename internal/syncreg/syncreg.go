@@ -296,7 +296,10 @@ func (n *Node) WriteKeySN(k core.RegisterID, v core.Value, done func(core.Versio
 	if done != nil {
 		o.done = func(kvs []core.KeyedValue) { done(kvs[0].Value) }
 	}
-	n.env.Broadcast(core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
+	// Sharded runtimes scope the dissemination to the key's replica
+	// group (R sends instead of a full broadcast — the capacity dividend);
+	// unsharded ones broadcast exactly as Figure 2 prescribes.
+	core.ScopedBroadcast(n.env, k, core.WriteMsg{From: n.env.ID(), Value: next, Reg: k, Op: id})
 	// Line 02: wait(δ); return ok. After δ every process present at the
 	// broadcast that has not left holds the value. Each write waits on its
 	// OWN timer: the waits overlap, which is the pipelining dividend.
@@ -356,7 +359,14 @@ func (n *Node) WriteBatchSN(entries []core.KeyedWrite, done func([]core.KeyedVal
 	}
 	o.entries = out
 	o.done = done
-	n.env.Broadcast(core.WriteBatchMsg{From: n.env.ID(), Op: id, Entries: out})
+	regs := make([]core.RegisterID, len(out))
+	for i, kv := range out {
+		regs[i] = kv.Reg
+	}
+	// One message to the union of the entries' replica groups (the whole
+	// membership when unsharded) — the batching dividend survives sharding
+	// whenever a batch stays within one group.
+	core.ScopedBroadcastMulti(n.env, regs, core.WriteBatchMsg{From: n.env.ID(), Op: id, Entries: out})
 	n.env.After(n.env.Delta(), func() { n.finishWrite(id) })
 	return nil
 }

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"churnreg/internal/core"
+)
+
+// v2Frames enumerates well-formed version-2 payloads: the message-body
+// layouts are identical to version 3 (v3 only ADDED the FORWARD and
+// FORWARDED kinds), so a v2 payload is a v3 payload with its version
+// byte rewound — which is exactly why the version byte must govern
+// acceptance: the bytes would parse, but the sender's placement
+// assumptions (every node replicates every key) no longer hold.
+func v2Frames(t *testing.T) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	frames := make(map[string][]byte)
+	for _, kind := range allKinds {
+		if kind == core.KindForward || kind == core.KindForwarded {
+			continue // v2 never carried these
+		}
+		payload, err := EncodeFrame(Frame{Type: FrameMsg, From: 7, Msg: randMessage(rng, kind)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload[0] = 2
+		frames[kind.String()] = payload
+	}
+	hello, err := EncodeFrame(Frame{Type: FrameHello, From: 9, Addr: "127.0.0.1:7777"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello[0] = 2
+	frames["hello"] = hello
+	return frames
+}
+
+// TestDecodeV2FailsLoudly pins the v2→v3 compatibility contract exactly
+// as TestDecodePreviousVersionFailsLoudly pins v1→v2: every version-2
+// payload decodes to ErrVersion — inspectable, never a panic, never a
+// silent misparse.
+func TestDecodeV2FailsLoudly(t *testing.T) {
+	for name, payload := range v2Frames(t) {
+		_, err := DecodeFrame(payload)
+		if err == nil {
+			t.Errorf("%s: DecodeFrame accepted a version-2 payload", name)
+			continue
+		}
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: DecodeFrame error = %v, want ErrVersion", name, err)
+		}
+	}
+	// The error names the offending version, so a mixed deployment's
+	// operator can tell which side is old.
+	var sample []byte
+	for _, payload := range v2Frames(t) {
+		sample = payload
+		break
+	}
+	_, err := DecodeFrame(sample)
+	if err == nil || err.Error() != "wire: unsupported codec version: 2" {
+		t.Fatalf("error = %v, want the versioned message naming 2", err)
+	}
+}
+
+// TestForwardRoundTrip pins the FORWARD/FORWARDED layouts field by field
+// (the property/fuzz tests cover random values; this one is the readable
+// byte-layout contract).
+func TestForwardRoundTrip(t *testing.T) {
+	msgs := []core.Message{
+		core.ForwardMsg{From: 3, Op: 17, Reg: 5, IsWrite: true, Val: -42},
+		core.ForwardMsg{From: 1, Op: 1, Reg: 0, IsWrite: false, Val: 0},
+		core.ForwardedMsg{From: 9, Op: 17, Reg: 5,
+			Value: core.VersionedValue{Val: -42, SN: 12}, Code: core.ForwardOK},
+		core.ForwardedMsg{From: 2, Op: 99, Reg: 8, Code: core.ForwardWrongReplica},
+	}
+	for _, m := range msgs {
+		enc, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", m.Kind(), err)
+		}
+		got, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Kind(), err)
+		}
+		if got != m {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", m, got)
+		}
+	}
+}
+
+// TestForwardedRejectsBadCode: the codec stays canonical — an undefined
+// FORWARDED outcome byte is rejected, not smuggled through.
+func TestForwardedRejectsBadCode(t *testing.T) {
+	enc, err := EncodeMessage(core.ForwardedMsg{From: 1, Op: 2, Reg: 3, Code: core.ForwardOK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)-1] = 200
+	if _, err := DecodeMessage(enc); err == nil {
+		t.Fatal("bad forward code accepted")
+	}
+}

@@ -97,6 +97,12 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		case core.KindWriteBatch:
 			m = core.WriteBatchMsg{From: core.ProcessID(a), Op: core.OpID(d),
 				Entries: []core.KeyedValue{{Reg: core.RegisterID(b), Value: vv}}}
+		case core.KindForward:
+			m = core.ForwardMsg{From: core.ProcessID(a), Op: core.OpID(d),
+				Reg: core.RegisterID(e), IsWrite: b&1 == 0, Val: core.Value(c)}
+		case core.KindForwarded:
+			m = core.ForwardedMsg{From: core.ProcessID(a), Op: core.OpID(d),
+				Reg: core.RegisterID(e), Value: vv, Code: core.ForwardCode(uint8(b) % 4)}
 		}
 		enc, err := EncodeMessage(m)
 		if err != nil {

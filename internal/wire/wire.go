@@ -44,7 +44,13 @@ import (
 //	   core.OpID — the pipelining tag that lets a node run many
 //	   concurrent operations. Version-1 payloads decode to ErrVersion
 //	   (see TestDecodePreviousVersionFailsLoudly).
-const Version = 2
+//	3: adds the sharding relay messages FORWARD and FORWARDED (a
+//	   non-replica node routing a client operation to its key's replica
+//	   group, OpID-routed like every other request/reply pair). Version-2
+//	   payloads decode to ErrVersion: a v2 node cannot parse the new
+//	   kinds, and silently mixing sharded and unsharded placement
+//	   assumptions would corrupt register state.
+const Version = 3
 
 // MaxFrame bounds a payload's length. The largest legitimate frame is a
 // join snapshot reply, 24 bytes per key; 1 MiB allows ~43k keys per
@@ -312,6 +318,25 @@ func AppendMessage(b []byte, m core.Message) ([]byte, error) {
 		for _, kv := range msg.Entries {
 			b = appendKeyedValue(b, kv)
 		}
+	case core.ForwardMsg:
+		b = append(b, byte(core.KindForward))
+		b = be64(b, int64(msg.From))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
+		b = be64(b, int64(msg.Reg))
+		if msg.IsWrite {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = be64(b, int64(msg.Val))
+	case core.ForwardedMsg:
+		b = append(b, byte(core.KindForwarded))
+		b = be64(b, int64(msg.From))
+		b = binary.BigEndian.AppendUint64(b, uint64(msg.Op))
+		b = be64(b, int64(msg.Reg))
+		b = be64(b, int64(msg.Value.Val))
+		b = be64(b, int64(msg.Value.SN))
+		b = append(b, byte(msg.Code))
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrMsgKind, m)
 	}
@@ -372,6 +397,16 @@ func (d *decoder) u8() byte {
 	v := d.b[d.off]
 	d.off++
 	return v
+}
+
+// forwardCode reads a strict FORWARDED outcome byte: only the defined
+// codes are legal, keeping the codec canonical.
+func (d *decoder) forwardCode() core.ForwardCode {
+	v := d.u8()
+	if d.err == nil && v > byte(core.ForwardWrongReplica) {
+		d.fail(fmt.Errorf("wire: bad forward code %d", v))
+	}
+	return core.ForwardCode(v)
 }
 
 // bool reads a strict boolean byte: only 0 and 1 are legal, keeping the
@@ -550,6 +585,25 @@ func (d *decoder) message() core.Message {
 			From:    core.ProcessID(d.i64()),
 			Op:      core.OpID(d.u64()),
 			Entries: d.keyedValues(),
+		}
+	case core.KindForward:
+		return core.ForwardMsg{
+			From:    core.ProcessID(d.i64()),
+			Op:      core.OpID(d.u64()),
+			Reg:     core.RegisterID(d.i64()),
+			IsWrite: d.bool(),
+			Val:     core.Value(d.i64()),
+		}
+	case core.KindForwarded:
+		return core.ForwardedMsg{
+			From: core.ProcessID(d.i64()),
+			Op:   core.OpID(d.u64()),
+			Reg:  core.RegisterID(d.i64()),
+			Value: core.VersionedValue{
+				Val: core.Value(d.i64()),
+				SN:  core.SeqNum(d.i64()),
+			},
+			Code: d.forwardCode(),
 		}
 	default:
 		d.fail(fmt.Errorf("%w: %d", ErrMsgKind, int(kind)))

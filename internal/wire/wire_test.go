@@ -49,6 +49,12 @@ func randMessage(rng *rand.Rand, kind core.MsgKind) core.Message {
 		return core.TokenMsg{From: from}
 	case core.KindWriteBatch:
 		return core.WriteBatchMsg{From: from, Op: op(), Entries: kvs(1 + rng.Intn(32))}
+	case core.KindForward:
+		return core.ForwardMsg{From: from, Op: op(), Reg: core.RegisterID(rng.Int63n(1 << 20)),
+			IsWrite: rng.Intn(2) == 0, Val: core.Value(rng.Int63() - rng.Int63())}
+	case core.KindForwarded:
+		return core.ForwardedMsg{From: from, Op: op(), Reg: core.RegisterID(rng.Int63n(1 << 20)),
+			Value: vv(), Code: core.ForwardCode(rng.Intn(4))}
 	default:
 		panic("unknown kind")
 	}
@@ -57,7 +63,7 @@ func randMessage(rng *rand.Rand, kind core.MsgKind) core.Message {
 var allKinds = []core.MsgKind{
 	core.KindInquiry, core.KindReply, core.KindWrite, core.KindAck,
 	core.KindRead, core.KindDLPrev, core.KindClaim, core.KindBeat,
-	core.KindToken, core.KindWriteBatch,
+	core.KindToken, core.KindWriteBatch, core.KindForward, core.KindForwarded,
 }
 
 func TestMessageRoundTripEveryKind(t *testing.T) {

@@ -40,13 +40,14 @@ func NewLiveCluster(opt ...Option) (*LiveCluster, error) {
 		return nil, err
 	}
 	cl, err := livenet.New(livenet.Config{
-		N:        o.n,
-		Delta:    sim.Duration(o.delta),
-		Tick:     o.tick,
-		Factory:  o.factory(),
-		Seed:     o.seed,
-		Initial:  core.VersionedValue{Val: core.Value(o.initial), SN: 0},
-		Initials: o.initialKeys,
+		N:         o.n,
+		Delta:     sim.Duration(o.delta),
+		Tick:      o.tick,
+		Factory:   o.factory(),
+		Seed:      o.seed,
+		Initial:   core.VersionedValue{Val: core.Value(o.initial), SN: 0},
+		Initials:  o.initialKeys,
+		Placement: o.placement,
 	})
 	if err != nil {
 		return nil, err

@@ -91,6 +91,7 @@ func (c *NetCluster) transportConfig(id ProcessID, sc core.SpawnContext) nettran
 		Bootstrap:   sc.Bootstrap,
 		Initial:     sc.Initial,
 		InitialKeys: sc.InitialKeys,
+		Placement:   c.opts.placement,
 	}
 }
 

@@ -107,3 +107,91 @@ func TestNetClusterSyncProtocol(t *testing.T) {
 		}
 	}
 }
+
+// TestNetClusterSharded drives the sharded keyspace over real TCP: R=2
+// of N=4, many keys, reads from every node (non-replicas forward over
+// the FORWARD/FORWARDED frames), a join that triggers shard handoff, and
+// a graceful leave that reshuffles placement.
+func TestNetClusterSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster; skipped in -short")
+	}
+	c, err := NewNetCluster(
+		WithN(4),
+		WithProtocol(Synchronous),
+		WithDelta(40),
+		WithTick(time.Millisecond),
+		WithShards(8, 2),
+		WithOperationTimeout(20*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const nKeys = 10
+	for k := RegisterID(0); k < nKeys; k++ {
+		if err := c.WriteKey(k, int64(500+k)); err != nil {
+			t.Fatalf("write %v: %v", k, err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond) // > δ: scoped broadcasts settled
+	for _, id := range c.IDs() {
+		for k := RegisterID(0); k < nKeys; k++ {
+			v, err := c.ReadKeyAt(id, k)
+			if err != nil {
+				t.Fatalf("read %v at %v: %v", k, id, err)
+			}
+			if v != int64(500+k) {
+				t.Fatalf("read %v at %v = %d, want %d", k, id, v, 500+k)
+			}
+		}
+	}
+
+	// Join: the newcomer gains shards, hands off state, and must then
+	// serve every key (owned ones locally, the rest by forwarding).
+	joined, err := c.Join()
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for k := RegisterID(0); k < nKeys; k++ {
+		for {
+			v, err := c.ReadKeyAt(joined, k)
+			if err == nil && v == int64(500+k) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("joiner never served key %v: v=%d err=%v", k, v, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Graceful leave reshuffles placement; writes and reads keep working.
+	victim := c.IDs()[len(c.IDs())-2]
+	if victim == c.WriterID() {
+		victim = c.IDs()[len(c.IDs())-1]
+	}
+	if err := c.Leave(victim); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	for k := RegisterID(0); k < nKeys; k++ {
+		if err := c.WriteKey(k, int64(900+k)); err != nil {
+			t.Fatalf("post-leave write %v: %v", k, err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	for _, id := range c.IDs() {
+		for k := RegisterID(0); k < nKeys; k++ {
+			v, err := c.ReadKeyAt(id, k)
+			if err != nil {
+				t.Fatalf("post-leave read %v at %v: %v", k, id, err)
+			}
+			if v != int64(900+k) {
+				t.Fatalf("post-leave read %v at %v = %d, want %d", k, id, v, 900+k)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package churnreg
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,22 @@ type SimCluster struct {
 	// stepBudget bounds how long a single blocking operation may advance
 	// virtual time before reporting a liveness failure.
 	stepBudget sim.Duration
+	// ambiguous records sharded writes that failed ErrUnacknowledged:
+	// the forwarded write MAY have been applied by a primary that died
+	// before answering. Their history ops stay pending (a write that
+	// never returned is concurrent with everything after it — legal for
+	// a regular register) and Check resolves each against the reads the
+	// cluster actually served (spec.ResolveValue), mirroring the client
+	// contract the e2e chaos suite exercises.
+	ambiguous []ambiguousWrite
+}
+
+// ambiguousWrite is one unacknowledged sharded write awaiting post-hoc
+// resolution at Check time.
+type ambiguousWrite struct {
+	op  *spec.Op
+	key RegisterID
+	val int64
 }
 
 // NewSimCluster builds a simulated cluster: n bootstrap processes holding
@@ -65,6 +82,7 @@ func NewSimCluster(opt ...Option) (*SimCluster, error) {
 		Protect:     func(id core.ProcessID) bool { return id == c.writer || c.shielded[id] > 0 },
 		Initial:     core.VersionedValue{Val: core.Value(o.initial), SN: 0},
 		Initials:    o.initialKeys,
+		Placement:   o.placement,
 	})
 	if err != nil {
 		return nil, err
@@ -221,6 +239,18 @@ func (p *PendingOp) fail(err error) {
 	p.release()
 }
 
+// failPending settles the handle with an error but leaves the HISTORY
+// op pending (not abandoned): used for ambiguous sharded writes whose
+// effect Check resolves post hoc.
+func (p *PendingOp) failPending(err error) {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.err = err
+	p.release()
+}
+
 // release drops the op's churn shield (idempotent).
 func (p *PendingOp) release() {
 	if p.shielded {
@@ -265,6 +295,25 @@ func (c *SimCluster) StartWriteKey(k RegisterID, v int64) *PendingOp {
 	p.shielded = true
 	c.live = append(c.live, p)
 	switch w := node.(type) {
+	case core.FallibleSNWriter:
+		// Sharded node: the write may fail after invocation (forward
+		// refused or unacknowledged); the handle settles either way. An
+		// UNACKNOWLEDGED write may still have been applied, so its
+		// history op stays pending for Check-time resolution instead of
+		// being abandoned — abandoning would turn a later read of the
+		// actually-applied value into a false violation.
+		err = w.WriteKeySNErr(k, core.Value(v), func(vv core.VersionedValue, werr error) {
+			if werr != nil {
+				if errors.Is(werr, core.ErrUnacknowledged) {
+					c.ambiguous = append(c.ambiguous, ambiguousWrite{op: p.op, key: k, val: v})
+					p.failPending(fmt.Errorf("churnreg: write %v: %w", k, werr))
+					return
+				}
+				p.fail(fmt.Errorf("churnreg: write %v: %w", k, werr))
+				return
+			}
+			complete(vv)
+		})
 	case core.SNWriter:
 		err = w.WriteKeySN(k, core.Value(v), complete)
 	case core.KeyedWriter:
@@ -306,6 +355,17 @@ func (c *SimCluster) StartReadKeyAt(id ProcessID, k RegisterID) *PendingOp {
 	c.live = append(c.live, p)
 	var err error
 	switch n := node.(type) {
+	case core.ServedReader:
+		// Sharded node: the read may be forwarded; record the replica
+		// that actually served it, so per-key attribution stays sound.
+		err = n.ReadKeyServed(k, func(v core.VersionedValue, server core.ProcessID, rerr error) {
+			if rerr != nil {
+				p.fail(fmt.Errorf("churnreg: read %v: %w", k, rerr))
+				return
+			}
+			c.history.SetServer(p.op, server)
+			complete(v)
+		})
 	case core.KeyedLocalReader:
 		v, rerr := n.ReadLocalKey(k)
 		if rerr != nil {
@@ -387,10 +447,6 @@ func (c *SimCluster) WriteBatch(kvs map[RegisterID]int64) error {
 		return err
 	}
 	node := c.sys.Node(id)
-	bw, ok := node.(core.SNBatchWriter)
-	if !ok {
-		return fmt.Errorf("churnreg: protocol %v cannot batch-write", c.opts.protocol)
-	}
 	ks := make([]RegisterID, 0, len(kvs))
 	for k := range kvs {
 		ks = append(ks, k)
@@ -403,12 +459,47 @@ func (c *SimCluster) WriteBatch(kvs map[RegisterID]int64) error {
 		ops[i] = c.history.BeginWriteKey(id, k, c.sys.Now())
 	}
 	done := false
-	if err := bw.WriteBatchSN(entries, func(stored []core.KeyedValue) {
+	var batchErr error
+	record := func(stored []core.KeyedValue) {
 		for i := range ks {
 			c.history.CompleteWrite(ops[i], c.sys.Now(), stored[i].Value)
 		}
 		done = true
-	}); err != nil {
+	}
+	switch bw := node.(type) {
+	case core.FallibleSNBatchWriter:
+		// Sharded node: entries route to their shard primaries, and the
+		// batch may fail after invocation — PARTIALLY: entries with a
+		// reported ⟨v, sn⟩ were applied and complete normally; the rest
+		// stay pending if the failure was ambiguous (the primary may
+		// have applied them before dying) or are abandoned on a clean
+		// refusal.
+		err = bw.WriteBatchSNErr(entries, func(stored []core.KeyedValue, werr error) {
+			if werr != nil {
+				for i, kv := range stored {
+					switch {
+					case !kv.Value.IsBottom():
+						c.history.CompleteWrite(ops[i], c.sys.Now(), kv.Value)
+					case errors.Is(werr, core.ErrUnacknowledged):
+						c.ambiguous = append(c.ambiguous, ambiguousWrite{
+							op: ops[i], key: entries[i].Reg, val: int64(entries[i].Val),
+						})
+					default:
+						c.history.Abandon(ops[i])
+					}
+				}
+				batchErr = werr
+				done = true
+				return
+			}
+			record(stored)
+		})
+	case core.SNBatchWriter:
+		err = bw.WriteBatchSN(entries, record)
+	default:
+		err = fmt.Errorf("churnreg: protocol %v cannot batch-write", c.opts.protocol)
+	}
+	if err != nil {
 		for _, op := range ops {
 			c.history.Abandon(op)
 		}
@@ -419,6 +510,10 @@ func (c *SimCluster) WriteBatch(kvs map[RegisterID]int64) error {
 			c.history.Abandon(op)
 		}
 		return fmt.Errorf("churnreg: write batch: %w", err)
+	}
+	if batchErr != nil {
+		// Per-entry disposition already happened in the callback.
+		return fmt.Errorf("churnreg: write batch: %w", batchErr)
 	}
 	return nil
 }
@@ -464,6 +559,19 @@ func (c *SimCluster) PendingOps() int {
 		}
 	})
 	return total
+}
+
+// snClaimedByOther reports whether any write op on aw's key other than
+// aw's own carries sequence number sn (abandoned writes excluded — they
+// never entered the checker's write history).
+func (c *SimCluster) snClaimedByOther(aw ambiguousWrite, sn core.SeqNum) bool {
+	for _, op := range c.history.Ops() {
+		if op.Kind == spec.OpWrite && op != aw.op && !op.Abandoned &&
+			op.Reg == aw.key && op.Value.SN == sn {
+			return true
+		}
+	}
+	return false
 }
 
 // pickWriter returns a stable active writer, electing a new one when the
@@ -530,8 +638,33 @@ func (r CheckReport) String() string {
 }
 
 // Check verifies every operation issued through this cluster against the
-// regular-register specification.
+// regular-register specification. Ambiguous sharded writes
+// (ErrUnacknowledged — applied-or-not unknowable at the client) are
+// first resolved against the reads the cluster served: a value some
+// read returned did happen, and its ⟨v, sn⟩ is recorded on the still-
+// pending write op; a value no read returned needs no resolution.
 func (c *SimCluster) Check() CheckReport {
+	for _, aw := range c.ambiguous {
+		if !aw.op.Value.IsBottom() {
+			continue // resolved by an earlier Check
+		}
+		for _, op := range c.history.Ops() {
+			if op.Kind != spec.OpRead || !op.Completed || op.Reg != aw.key ||
+				op.Value.Val != core.Value(aw.val) {
+				continue
+			}
+			// The observed ⟨v, sn⟩ identifies the ambiguous write only
+			// if no OTHER write on the key claims that sequence number
+			// — with repeated values, a read of an earlier same-valued
+			// write must not resolve this one (it is already allowed
+			// via that write, so skipping loses nothing).
+			if c.snClaimedByOther(aw, op.Value.SN) {
+				continue
+			}
+			c.history.ResolveValue(aw.op, op.Value)
+			break
+		}
+	}
 	counts := c.history.Counts()
 	rep := CheckReport{
 		Reads:      counts.ReadsCompleted,

@@ -134,7 +134,7 @@ func (l *logBuffer) String() string {
 // rather than failing the test, so non-test goroutines (the chaos churn
 // schedule) can call it too; t is used only for cleanup and log capture,
 // both of which are safe off the test goroutine while the test runs.
-func startNode(t *testing.T, id int64, protocol string, n int, delta int64, tick string, bootstrap bool, peers []string) (*node, error) {
+func startNode(t *testing.T, id int64, protocol string, n int, delta int64, tick string, bootstrap bool, peers []string, extraArgs ...string) (*node, error) {
 	args := []string{
 		"-id", fmt.Sprint(id),
 		"-listen", "127.0.0.1:0",
@@ -150,6 +150,7 @@ func startNode(t *testing.T, id int64, protocol string, n int, delta int64, tick
 	if len(peers) > 0 {
 		args = append(args, "-peers", strings.Join(peers, ","))
 	}
+	args = append(args, extraArgs...)
 	cmd := exec.Command(binPath, args...)
 	logs := &logBuffer{}
 	stdout, err := cmd.StdoutPipe()
@@ -209,9 +210,9 @@ func startNode(t *testing.T, id int64, protocol string, n int, delta int64, tick
 }
 
 // mustStartNode is startNode for the test goroutine: failures are fatal.
-func mustStartNode(t *testing.T, id int64, protocol string, n int, delta int64, tick string, bootstrap bool, peers []string) *node {
+func mustStartNode(t *testing.T, id int64, protocol string, n int, delta int64, tick string, bootstrap bool, peers []string, extraArgs ...string) *node {
 	t.Helper()
-	nd, err := startNode(t, id, protocol, n, delta, tick, bootstrap, peers)
+	nd, err := startNode(t, id, protocol, n, delta, tick, bootstrap, peers, extraArgs...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,6 +285,9 @@ type readResult struct {
 	Key int64 `json:"key"`
 	Val int64 `json:"val"`
 	SN  int64 `json:"sn"`
+	// ServedBy names the replica whose local copy produced the value —
+	// under sharding, not necessarily the node that was asked.
+	ServedBy int64 `json:"served_by"`
 }
 
 type writeResult struct {

@@ -1,0 +1,423 @@
+package e2e
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"churnreg/internal/core"
+	"churnreg/internal/sim"
+	"churnreg/internal/spec"
+)
+
+// shardedChaosConfig parameterizes one sharded chaos run: S shards over
+// replica groups of R, with peer eviction tightened so placement heals
+// within the run after a crash.
+type shardedChaosConfig struct {
+	protocol   string
+	delta      int64
+	tick       string
+	duration   time.Duration
+	shards     int
+	replica    int
+	evictAfter string
+}
+
+func (c shardedChaosConfig) flags() []string {
+	return []string{
+		"-shards", fmt.Sprint(c.shards),
+		"-replication", fmt.Sprint(c.replica),
+		"-evict-after", c.evictAfter,
+	}
+}
+
+// TestE2EChaosSharded is the sharded acceptance suite: SIX regserve OS
+// processes over the run (four bootstrap founders, a joiner, and a
+// kill-and-replace replacement) shard the keyspace S=8 ways with R=3 —
+// strictly fewer replicas than live processes at every instant — while
+// seeded chaos traffic flows: writes forwarded to shard primaries over
+// the FORWARD/FORWARDED frames, reads served by replica groups, plus a
+// join (shard handoff to the newcomer), a graceful leave, and a
+// kill-and-replace mid-traffic. Per-key regularity over the
+// client-observed history is the verdict.
+//
+// A forwarded write whose serving primary dies before acknowledging is
+// AMBIGUOUS (HTTP 502): it may or may not have been applied. The client
+// then stops writing that key and resolves the outcome post hoc — if any
+// read observed the value, the write happened and its ⟨v, sn⟩ enters the
+// history as a pending (never-returned) write, which a regular register
+// treats as concurrent with everything after it; if no read observed it,
+// no read needs it. This is the documented client contract, exercised
+// here exactly as a real client would implement it.
+func TestE2EChaosSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs OS processes; skipped in -short")
+	}
+	configs := []shardedChaosConfig{
+		{protocol: "sync", delta: 60, tick: "1ms", duration: 4 * time.Second,
+			shards: 8, replica: 3, evictAfter: "500ms"},
+		{protocol: "esync", delta: 5, tick: "1ms", duration: 4 * time.Second,
+			shards: 8, replica: 3, evictAfter: "500ms"},
+	}
+	for _, cfg := range configs {
+		for _, seed := range seedsToRun() {
+			t.Run(fmt.Sprintf("%s/seed=%d", cfg.protocol, seed), func(t *testing.T) {
+				runShardedChaos(t, cfg, seed)
+			})
+		}
+	}
+}
+
+// ambiguousWrite is a write whose forwarded outcome the client never
+// learned; resolved against observed reads after traffic stops.
+type ambiguousWrite struct {
+	op  *spec.Op
+	key int64
+	val int64
+}
+
+func runShardedChaos(t *testing.T, cfg shardedChaosConfig, seed int64) {
+	const nKeys = 6
+	start := time.Now()
+	now := func() sim.Time { return sim.Time(time.Since(start).Microseconds()) }
+
+	history := spec.NewHistory(core.VersionedValue{Val: 0, SN: 0})
+	var hmu sync.Mutex
+
+	// Four bootstrap founders: R=3 stays strictly below the live process
+	// count through every phase (5 after the join, 4 after the leave, 4
+	// again after kill-and-replace).
+	const nBoot = 4
+	founders := make([]*node, 0, nBoot)
+	var peerAddrs []string
+	for i := int64(1); i <= nBoot; i++ {
+		nd := mustStartNode(t, i, cfg.protocol, nBoot, cfg.delta, cfg.tick, true, peerAddrs, cfg.flags()...)
+		founders = append(founders, nd)
+		peerAddrs = append(peerAddrs, nd.listen)
+	}
+	for _, nd := range founders {
+		mustHealthy(t, nd, nBoot-1, 10*time.Second)
+	}
+	n1 := founders[0]
+	alive := &aliveSet{}
+	for _, nd := range founders {
+		alive.add(nd)
+	}
+
+	var (
+		stop           atomic.Bool
+		wg             sync.WaitGroup
+		writesDone     atomic.Uint64
+		writesRefused  atomic.Uint64 // clean refusals (not applied), retried or skipped
+		readsDone      atomic.Uint64
+		readsAbandoned atomic.Uint64
+		batchesDone    atomic.Uint64
+	)
+
+	// poisoned keys had an ambiguous write; no process writes them again
+	// (re-issuing could store one value under two sequence numbers).
+	var poisonMu sync.Mutex
+	poisoned := make(map[int64]bool)
+	var ambiguous []ambiguousWrite
+	isPoisoned := func(k int64) bool {
+		poisonMu.Lock()
+		defer poisonMu.Unlock()
+		return poisoned[k]
+	}
+	poison := func(op *spec.Op, k, v int64) {
+		poisonMu.Lock()
+		defer poisonMu.Unlock()
+		poisoned[k] = true
+		ambiguous = append(ambiguous, ambiguousWrite{op: op, key: k, val: v})
+	}
+
+	// ambiguousErr classifies a write failure: true = the write MAY have
+	// been applied (unacknowledged forward, upstream deadline); false =
+	// it definitely was not (unroutable, not active, table full).
+	ambiguousErr := func(err error) bool {
+		var apiErr *apiError
+		if errors.As(err, &apiErr) {
+			switch apiErr.status {
+			case 502, 504:
+				return true
+			case 503, 409:
+				return false
+			}
+		}
+		return true // unknown failure: assume the worst
+	}
+
+	// One writer client: every write flows through n1 (never removed),
+	// which forwards each key to its shard primary. One writer keeps the
+	// per-key cross-process discipline trivially true while forwarding
+	// moves the actual sequence-number assignment around the cluster.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed * 1000))
+		counter := int64(0)
+		for !stop.Load() {
+			counter++
+			val := seed*100_000_000 + counter
+			if rng.Intn(5) == 0 {
+				// Multi-key batch: decomposed per shard primary by the
+				// sharding layer; an error leaves every entry ambiguous.
+				// Bounded draw: with most keys poisoned a full batch may
+				// not exist, so fall through to a lone write instead.
+				kvs := map[int64]int64{}
+				want := 2 + rng.Intn(2)
+				for tries := 0; len(kvs) < want && tries < 4*nKeys; tries++ {
+					k := rng.Int63n(nKeys)
+					if !isPoisoned(k) {
+						kvs[k] = val + int64(len(kvs))*1000
+					}
+				}
+				if len(kvs) < 2 {
+					continue
+				}
+				ops := map[int64]*spec.Op{}
+				hmu.Lock()
+				for k := range kvs {
+					ops[k] = history.BeginWriteKey(1, core.RegisterID(k), now())
+				}
+				hmu.Unlock()
+				res, err := n1.writeBatch(kvs)
+				end := now()
+				hmu.Lock()
+				switch {
+				case err == nil:
+					for k, op := range ops {
+						sn := res.SNs[fmt.Sprint(k)]
+						history.CompleteWrite(op, end, core.VersionedValue{Val: core.Value(kvs[k]), SN: core.SeqNum(sn)})
+					}
+					batchesDone.Add(1)
+				case ambiguousErr(err):
+					for k, op := range ops {
+						poison(op, k, kvs[k])
+					}
+				default:
+					for _, op := range ops {
+						history.Abandon(op)
+					}
+					writesRefused.Add(1)
+				}
+				hmu.Unlock()
+			} else {
+				k := rng.Int63n(nKeys)
+				if isPoisoned(k) {
+					continue
+				}
+				hmu.Lock()
+				op := history.BeginWriteKey(1, core.RegisterID(k), now())
+				hmu.Unlock()
+				res, err := n1.write(k, val)
+				end := now()
+				hmu.Lock()
+				switch {
+				case err == nil:
+					history.CompleteWrite(op, end, core.VersionedValue{Val: core.Value(val), SN: core.SeqNum(res.SN)})
+					writesDone.Add(1)
+				case ambiguousErr(err):
+					poison(op, k, val)
+				default:
+					// Clean refusal: the write was NOT applied. Abandon
+					// and move on (the key stays writable).
+					history.Abandon(op)
+					writesRefused.Add(1)
+				}
+				hmu.Unlock()
+			}
+			time.Sleep(time.Duration(rng.Intn(30)) * time.Millisecond)
+		}
+	}()
+
+	// Readers: any alive node except the writer's ingress; the serving
+	// replica reported by the API is recorded so history attribution
+	// survives forwarding.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(rdr int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*100 + rdr))
+			for !stop.Load() {
+				nd := alive.pickNot(rng, n1)
+				if nd == nil {
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				k := rng.Int63n(nKeys)
+				hmu.Lock()
+				op := history.BeginReadKey(core.ProcessID(nd.id), core.RegisterID(k), now())
+				hmu.Unlock()
+				res, err := nd.read(k)
+				end := now()
+				hmu.Lock()
+				if err != nil {
+					history.Abandon(op)
+					readsAbandoned.Add(1)
+				} else {
+					history.SetServer(op, core.ProcessID(res.ServedBy))
+					history.CompleteRead(op, end, core.VersionedValue{Val: core.Value(res.Val), SN: core.SeqNum(res.SN)})
+					readsDone.Add(1)
+				}
+				hmu.Unlock()
+				time.Sleep(time.Duration(5+rng.Intn(15)) * time.Millisecond)
+			}
+		}(int64(r))
+	}
+
+	// Churn schedule: join (handoff to the newcomer), graceful leave,
+	// kill-and-replace — each reshuffling shard placement mid-traffic.
+	var phases atomic.Int32
+	scheduleDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(scheduleDone)
+		d := cfg.duration
+		// Phase 1: a fresh process joins and gains shards via handoff.
+		time.Sleep(3 * d / 10)
+		n5, err := startNode(t, nBoot+1, cfg.protocol, nBoot, cfg.delta, cfg.tick, false,
+			peerAddrs, cfg.flags()...)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := waitHealthy(n5, nBoot-1, 15*time.Second); err != nil {
+			t.Errorf("joiner: %v", err)
+			return
+		}
+		alive.add(n5)
+		phases.Add(1)
+		// Phase 2: founder 3 departs gracefully; survivors gain its
+		// shards (donors still include it until the LEAVE propagates).
+		time.Sleep(2 * d / 10)
+		n3 := founders[2]
+		alive.remove(n3)
+		time.Sleep(50 * time.Millisecond)
+		if err := n3.leave(); err != nil {
+			t.Errorf("node 3 leave: %v", err)
+			return
+		}
+		n3.awaitExit(t, 15*time.Second)
+		phases.Add(1)
+		// Phase 3: founder 2 crashes (SIGKILL) mid-traffic — in-flight
+		// forwards to it become ambiguous — and a replacement joins.
+		time.Sleep(2 * d / 10)
+		n2 := founders[1]
+		alive.remove(n2)
+		time.Sleep(50 * time.Millisecond)
+		n2.kill()
+		n6, err := startNode(t, nBoot+2, cfg.protocol, nBoot, cfg.delta, cfg.tick, false,
+			[]string{n1.listen, n5.listen}, cfg.flags()...)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := waitHealthy(n6, 2, 15*time.Second); err != nil {
+			t.Errorf("replacement: %v", err)
+			return
+		}
+		alive.add(n6)
+		phases.Add(1)
+	}()
+
+	select {
+	case <-scheduleDone:
+	case <-time.After(cfg.duration + 90*time.Second):
+		t.Error("churn schedule wedged")
+	}
+	time.Sleep(cfg.duration / 10)
+	stop.Store(true)
+	wg.Wait()
+	t.Logf("traffic and churn schedule finished at %v", time.Since(start).Round(time.Millisecond))
+	if t.Failed() {
+		return
+	}
+	if phases.Load() != 3 {
+		t.Fatalf("churn schedule completed %d/3 phases", phases.Load())
+	}
+
+	// Quiesce, then final reads on every surviving node: every key
+	// converges across the cluster (forwarded reads included). A read
+	// may still bounce (503) while the crashed peer's eviction heals the
+	// placement view, so each final read retries briefly before failing.
+	time.Sleep(10 * time.Duration(cfg.delta) * time.Millisecond)
+	for _, nd := range alive.snapshot() {
+		for k := int64(0); k < nKeys; k++ {
+			hmu.Lock()
+			op := history.BeginReadKey(core.ProcessID(nd.id), core.RegisterID(k), now())
+			hmu.Unlock()
+			var res readResult
+			var err error
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				res, err = nd.read(k)
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			end := now()
+			if err != nil {
+				t.Errorf("final read key %d at node %d: %v", k, nd.id, err)
+				hmu.Lock()
+				history.Abandon(op)
+				hmu.Unlock()
+				continue
+			}
+			hmu.Lock()
+			history.SetServer(op, core.ProcessID(res.ServedBy))
+			history.CompleteRead(op, end, core.VersionedValue{Val: core.Value(res.Val), SN: core.SeqNum(res.SN)})
+			hmu.Unlock()
+			readsDone.Add(1)
+		}
+	}
+
+	// Resolve ambiguous writes against everything the cluster was
+	// observed to return: a value some read saw DID happen — record its
+	// ⟨v, sn⟩ on the still-pending op; a value no read saw needs nothing.
+	resolved := 0
+	poisonMu.Lock()
+	pending := append([]ambiguousWrite(nil), ambiguous...)
+	poisonMu.Unlock()
+	hmu.Lock()
+	for _, aw := range pending {
+		for _, op := range history.Ops() {
+			if op.Kind == spec.OpRead && op.Completed && op.Reg == core.RegisterID(aw.key) &&
+				op.Value.Val == core.Value(aw.val) {
+				history.ResolveValue(aw.op, op.Value)
+				resolved++
+				break
+			}
+		}
+	}
+	nAmbiguous := len(pending)
+	hmu.Unlock()
+
+	if err := history.ValidateWrites(); err != nil {
+		t.Fatalf("workload broke the write discipline: %v", err)
+	}
+	if violations := history.CheckRegular(); len(violations) > 0 {
+		for i, v := range violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(violations)-10)
+				break
+			}
+			t.Errorf("regularity violation: %v", v)
+		}
+		t.FailNow()
+	}
+
+	if writesDone.Load() < 10 || readsDone.Load() < 30 {
+		t.Fatalf("too few operations completed: %d writes, %d batches, %d reads",
+			writesDone.Load(), batchesDone.Load(), readsDone.Load())
+	}
+	t.Logf("%s seed=%d S=%d R=%d: %d writes, %d batches, %d refused, %d ambiguous (%d resolved), %d reads (%d abandoned), %d keys, join+leave+kill done",
+		cfg.protocol, seed, cfg.shards, cfg.replica, writesDone.Load(), batchesDone.Load(),
+		writesRefused.Load(), nAmbiguous, resolved, readsDone.Load(), readsAbandoned.Load(), len(history.Keys()))
+}
