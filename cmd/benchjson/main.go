@@ -15,6 +15,11 @@
 //     3/6/12 with the keyspace sharded at fixed replication R=3 — the
 //     capacity-scaling curve (per-node client load constant, so growth
 //     with node count is capacity, not just concurrency).
+//   - net (internal/benchnet): the wire hot path — frames/sec coalesced
+//     vs per-frame-syscall over real TCP, codec allocations/op, the ABD
+//     read fast/slow split, and macro regserve throughput from 6 OS
+//     processes at 128 in-flight HTTP clients (-skip-macro to omit; the
+//     macro leg builds cmd/regserve with the go toolchain).
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"churnreg/internal/benchnet"
 	"churnreg/internal/benchpipe"
 	"churnreg/internal/benchshard"
 	"churnreg/internal/sim"
@@ -42,12 +48,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out    = fs.String("out", ".", "directory to write BENCH_<name>.json files into")
-		depths = fs.String("depths", "1,16,128", "comma-separated in-flight depths for the pipeline benchmark")
-		ops    = fs.Int("ops", 25, "operations per worker per depth")
-		n      = fs.Int("n", 5, "cluster size")
-		delta  = fs.Int64("delta", 5, "δ in ticks")
-		tick   = fs.Duration("tick", time.Millisecond, "real duration of one tick")
+		out       = fs.String("out", ".", "directory to write BENCH_<name>.json files into")
+		depths    = fs.String("depths", "1,16,128", "comma-separated in-flight depths for the pipeline benchmark")
+		ops       = fs.Int("ops", 25, "operations per worker per depth")
+		n         = fs.Int("n", 5, "cluster size")
+		delta     = fs.Int64("delta", 5, "δ in ticks")
+		tick      = fs.Duration("tick", time.Millisecond, "real duration of one tick")
+		skipMacro = fs.Bool("skip-macro", false, "skip the net benchmark's OS-process macro leg (needs the go toolchain to build regserve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +105,23 @@ func run(args []string) error {
 	}
 	for k, r := range srep.ScalingRatio {
 		fmt.Printf("shard aggregate scaling %s: %.2fx\n", k, r)
+	}
+
+	nrep, err := benchnet.Run(benchnet.Config{SkipMacro: *skipMacro})
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(*out, "BENCH_net.json"), nrep); err != nil {
+		return err
+	}
+	fmt.Printf("net micro %-17s: %10.0f frames/sec\n", nrep.Baseline.Mode, nrep.Baseline.FramesPerSec)
+	fmt.Printf("net micro %-17s: %10.0f frames/sec (%.1fx)\n", nrep.Coalesced.Mode, nrep.Coalesced.FramesPerSec, nrep.CoalescingSpeedup)
+	fmt.Printf("net codec allocs/op: encode %.2f, decode machinery %.2f, decode message %.2f\n",
+		nrep.EncodeAllocsPerOp, nrep.DecodeCodecAllocsPerOp, nrep.DecodeMsgAllocsPerOp)
+	fmt.Printf("net abd read paths : fast %d, slow %d\n", nrep.ABDFastReads, nrep.ABDSlowReads)
+	if nrep.Macro != nil {
+		fmt.Printf("net macro N=%d inflight=%d: %8.1f ops/sec (%d ops in %.2fs)\n",
+			nrep.Macro.Nodes, nrep.Macro.Inflight, nrep.Macro.OpsPerSec, nrep.Macro.Ops, nrep.Macro.Seconds)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"churnreg/internal/core"
+	"churnreg/internal/nettransport"
 )
 
 // fakeBackend implements the api's backend interface in memory: writes
@@ -24,6 +25,8 @@ type fakeBackend struct {
 	// sharded, when set, makes ShardInfo report a sharded placement (the
 	// /metrics and /health shard-gauge tests use it).
 	sharded bool
+	// stats is what Stats() serves; tests may pre-load counters.
+	stats nettransport.Stats
 }
 
 func newFakeBackend() *fakeBackend {
@@ -66,10 +69,29 @@ func (f *fakeBackend) ReadKeyServed(reg core.RegisterID, d time.Duration) (core.
 	return v, 9, err
 }
 
-func (f *fakeBackend) Invoke(fn func(core.Node)) error { return nil }
-func (f *fakeBackend) Active() bool                    { return true }
-func (f *fakeBackend) PeerCount() int                  { return 2 }
-func (f *fakeBackend) Addr() string                    { return "fake:0" }
+// Invoke runs fn synchronously against a stub node (the real transport
+// schedules it on the loop goroutine; the api cannot tell the difference).
+func (f *fakeBackend) Invoke(fn func(core.Node)) error {
+	fn(stubNode{})
+	return nil
+}
+func (f *fakeBackend) Active() bool   { return true }
+func (f *fakeBackend) PeerCount() int { return 2 }
+func (f *fakeBackend) Addr() string   { return "fake:0" }
+
+// Stats hands the api a live (zero-valued) counter block, as the real
+// transport would.
+func (f *fakeBackend) Stats() *nettransport.Stats { return &f.stats }
+
+// stubNode is the minimal core.Node the fake's Invoke serves, with a
+// fixed read-path split so the /metrics fast/slow series is observable.
+type stubNode struct{}
+
+func (stubNode) Start()                                      {}
+func (stubNode) Active() bool                                { return true }
+func (stubNode) Deliver(from core.ProcessID, m core.Message) {}
+func (stubNode) Snapshot() core.VersionedValue               { return core.VersionedValue{} }
+func (stubNode) ReadPathCounts() (uint64, uint64)            { return 5, 2 }
 
 func (f *fakeBackend) ShardInfo() (int, int, int) {
 	if f.sharded {
@@ -250,5 +272,50 @@ func TestAPIReadReportsServer(t *testing.T) {
 	}
 	if out.ServedBy != 9 {
 		t.Fatalf("served_by = %d, want 9", out.ServedBy)
+	}
+}
+
+// TestAPITransportAndReadPathMetrics: the wire-level hot-path series
+// (coalescing factor, batch gauge, backpressure counters) and the quorum
+// read fast/slow split render on /metrics with the values the backend
+// reports.
+func TestAPITransportAndReadPathMetrics(t *testing.T) {
+	b := newFakeBackend()
+	b.stats.FlushWrites.Store(10)
+	b.stats.FlushedFrames.Store(80)
+	b.stats.LastBatchFrames.Store(16)
+	b.stats.MailboxStalls.Store(3)
+	b.stats.QueueDrops.Store(2)
+	srv := newTestAPI(t, b)
+	status, body := get(t, srv.URL+"/metrics")
+	if status != 200 {
+		t.Fatalf("metrics status %d", status)
+	}
+	for _, line := range []string{
+		"regserve_transport_frames_per_write 8",
+		"regserve_transport_last_batch_frames 16",
+		"regserve_transport_flushed_frames_total 80",
+		"regserve_transport_mailbox_stalls_total 3",
+		"regserve_transport_queue_drops_total 2",
+		`regserve_read_path_total{path="fast"} 5`,
+		`regserve_read_path_total{path="slow"} 2`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics output missing %q:\n%s", line, body)
+		}
+	}
+}
+
+// TestAPIPprofGating: /debug/pprof serves only when -pprof was given.
+func TestAPIPprofGating(t *testing.T) {
+	cfg := &serverConfig{id: 1, protocol: "sync", opTimeout: time.Second, pprof: true}
+	on := httptest.NewServer(newAPI(cfg, newFakeBackend(), make(chan struct{}, 1)))
+	t.Cleanup(on.Close)
+	if status, body := get(t, on.URL+"/debug/pprof/cmdline"); status != 200 {
+		t.Fatalf("pprof-enabled node: /debug/pprof/cmdline status %d: %s", status, body)
+	}
+	off := newTestAPI(t, newFakeBackend()) // pprof unset
+	if status, _ := get(t, off.URL+"/debug/pprof/cmdline"); status == 200 {
+		t.Fatal("pprof served without -pprof")
 	}
 }

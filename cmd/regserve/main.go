@@ -45,6 +45,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -90,6 +91,9 @@ type serverConfig struct {
 	shards      int
 	replication int
 	evictAfter  time.Duration
+	queueLen    int
+	mailboxLen  int
+	pprof       bool
 }
 
 func parseFlags(args []string, errW io.Writer) (*serverConfig, error) {
@@ -111,6 +115,9 @@ func parseFlags(args []string, errW io.Writer) (*serverConfig, error) {
 		shards      = fs.Int("shards", 0, "shard the keyspace into this many shards (0 = every node replicates every key); must match across the whole system")
 		replication = fs.Int("replication", 3, "replica group size per shard (with -shards; must match across the whole system)")
 		evictAfter  = fs.Duration("evict-after", 15*time.Second, "drop a peer whose dials have failed continuously for this long (sharded clusters under churn want this low — placement heals only after eviction)")
+		queueLen    = fs.Int("queue", 0, "per-peer outbound frame queue capacity (0 = transport default of 512); overflow drops the oldest frame")
+		mailboxLen  = fs.Int("mailbox", 0, "event-loop mailbox capacity (0 = transport default of 512); a full mailbox stalls producers (see regserve_transport_mailbox_stalls_total)")
+		pprofFlag   = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof on the API address (profiling a live cluster)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -141,6 +148,10 @@ func parseFlags(args []string, errW io.Writer) (*serverConfig, error) {
 		n: *n, delta: *delta, tick: *tick, bootstrap: *bootstrap,
 		initial: *initial, opTimeout: *opTimeout, verbose: *verbose,
 		shards: *shards, replication: *replication, evictAfter: *evictAfter,
+		queueLen: *queueLen, mailboxLen: *mailboxLen, pprof: *pprofFlag,
+	}
+	if cfg.queueLen < 0 || cfg.mailboxLen < 0 {
+		return nil, fmt.Errorf("-queue and -mailbox must be >= 0 (got %d, %d)", cfg.queueLen, cfg.mailboxLen)
 	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -198,6 +209,8 @@ func run(args []string, out, errW io.Writer) error {
 		Bootstrap:  cfg.bootstrap,
 		Initial:    core.VersionedValue{Val: core.Value(cfg.initial), SN: 0},
 		EvictAfter: cfg.evictAfter,
+		QueueLen:   cfg.queueLen,
+		MailboxLen: cfg.mailboxLen,
 		Placement:  placement.Config{Shards: cfg.shards, Replication: cfg.replication},
 		Logf:       logf,
 	})
@@ -258,6 +271,9 @@ type backend interface {
 	// ShardInfo reports (total shards, shards this node replicates,
 	// replication factor); total is 0 when the keyspace is unsharded.
 	ShardInfo() (shards, owned, replication int)
+	// Stats exposes the transport's wire-level counters (coalescing
+	// factor, batch gauge, queue drops, mailbox stalls) for /metrics.
+	Stats() *nettransport.Stats
 }
 
 var _ backend = (*nettransport.Transport)(nil)
@@ -282,6 +298,15 @@ func newAPI(cfg *serverConfig, tr backend, leavec chan<- struct{}) http.Handler 
 	mux.HandleFunc("POST /writebatch", a.writeBatch)
 	mux.HandleFunc("POST /leave", a.leave)
 	mux.HandleFunc("GET /metrics", a.metrics)
+	if cfg.pprof {
+		// Explicit registration: the API uses its own mux, so the
+		// net/http/pprof package's DefaultServeMux handlers never apply.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -292,6 +317,8 @@ func newAPI(cfg *serverConfig, tr backend, leavec chan<- struct{}) http.Handler 
 func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	a.ops.WritePrometheus(w)
+	a.writeTransportMetrics(w)
+	a.writeReadPathMetrics(w)
 	shards, owned, repl := a.tr.ShardInfo()
 	if shards == 0 {
 		return
@@ -305,6 +332,75 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP regserve_shard_replication Configured replica group size per shard.\n")
 	fmt.Fprintf(w, "# TYPE regserve_shard_replication gauge\n")
 	fmt.Fprintf(w, "regserve_shard_replication %d\n", repl)
+}
+
+// writeTransportMetrics renders the wire-level hot-path counters: the
+// coalescing factor (frames per frame-carrying write syscall), the latest
+// batch size, and the backpressure counters.
+func (a *api) writeTransportMetrics(w http.ResponseWriter) {
+	st := a.tr.Stats()
+	if st == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP regserve_transport_frames_per_write Average frames coalesced into one frame-carrying write syscall.\n")
+	fmt.Fprintf(w, "# TYPE regserve_transport_frames_per_write gauge\n")
+	fmt.Fprintf(w, "regserve_transport_frames_per_write %g\n", st.FramesPerWrite())
+	fmt.Fprintf(w, "# HELP regserve_transport_last_batch_frames Frame count of the most recently flushed batch.\n")
+	fmt.Fprintf(w, "# TYPE regserve_transport_last_batch_frames gauge\n")
+	fmt.Fprintf(w, "regserve_transport_last_batch_frames %d\n", st.LastBatchFrames.Load())
+	fmt.Fprintf(w, "# HELP regserve_transport_flushed_frames_total Frames written to peers by coalesced flushes.\n")
+	fmt.Fprintf(w, "# TYPE regserve_transport_flushed_frames_total counter\n")
+	fmt.Fprintf(w, "regserve_transport_flushed_frames_total %d\n", st.FlushedFrames.Load())
+	fmt.Fprintf(w, "# HELP regserve_transport_mailbox_stalls_total Enqueues that found the event-loop mailbox full and waited.\n")
+	fmt.Fprintf(w, "# TYPE regserve_transport_mailbox_stalls_total counter\n")
+	fmt.Fprintf(w, "regserve_transport_mailbox_stalls_total %d\n", st.MailboxStalls.Load())
+	fmt.Fprintf(w, "# HELP regserve_transport_queue_drops_total Frames dropped on full per-peer queues (fair-lossy links).\n")
+	fmt.Fprintf(w, "# TYPE regserve_transport_queue_drops_total counter\n")
+	fmt.Fprintf(w, "regserve_transport_queue_drops_total %d\n", st.QueueDrops.Load())
+}
+
+// writeReadPathMetrics renders the quorum-read fast/slow split for
+// protocols that track it (abd's one-round fast path). The counts live on
+// the node, so they are fetched through one loop round-trip; a node too
+// busy to answer promptly just omits the series this scrape.
+func (a *api) writeReadPathMetrics(w http.ResponseWriter) {
+	type counts struct {
+		fast, slow uint64
+		tracked    bool
+	}
+	done := make(chan counts, 1)
+	// The timeout must bound the WHOLE fetch, including the Invoke
+	// enqueue itself (a full mailbox blocks it), so Invoke runs on its
+	// own goroutine; its channel send is buffered and its wait ends when
+	// the transport stops, so the goroutine never outlives a slow loop
+	// by more than that.
+	go func() {
+		err := a.tr.Invoke(func(n core.Node) {
+			c, ok := n.(core.ReadPathCounter)
+			if !ok {
+				done <- counts{}
+				return
+			}
+			fast, slow := c.ReadPathCounts()
+			done <- counts{fast: fast, slow: slow, tracked: true}
+		})
+		if err != nil {
+			done <- counts{}
+		}
+	}()
+	timer := time.NewTimer(2 * time.Second)
+	defer timer.Stop()
+	select {
+	case c := <-done:
+		if !c.tracked {
+			return
+		}
+		fmt.Fprintf(w, "# HELP regserve_read_path_total Completed quorum reads by path: fast is the one-round path (all phase-1 replies agreed, write-back skipped).\n")
+		fmt.Fprintf(w, "# TYPE regserve_read_path_total counter\n")
+		fmt.Fprintf(w, "regserve_read_path_total{path=\"fast\"} %d\n", c.fast)
+		fmt.Fprintf(w, "regserve_read_path_total{path=\"slow\"} %d\n", c.slow)
+	case <-timer.C:
+	}
 }
 
 func (a *api) reply(w http.ResponseWriter, status int, v any) {

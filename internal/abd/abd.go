@@ -9,10 +9,20 @@
 //
 //   - write(k, v): increment the writer's sequence number for key k, send
 //     WRITE to all, wait for ⌊n/2⌋+1 ACKs naming k.
-//   - read(k): send READ to all, wait for ⌊n/2⌋+1 REPLYs, return the value
-//     with the highest sequence number. (No write-back phase: a regular
-//     register does not need one; the write-back is what upgrades ABD
-//     reads to atomic.)
+//   - read(k): send READ to all, wait for ⌊n/2⌋+1 REPLYs, and adopt the
+//     value with the highest sequence number. If every reply in the
+//     quorum reported the SAME ⟨v, sn⟩ the read returns immediately —
+//     the one-round fast path of Mostéfaoui & Raynal (arXiv:1601.04820):
+//     the whole quorum already stores v, so any later read's quorum
+//     intersects it and returns ≥ v, and no write-back is needed. When
+//     the replies disagree, the freshest value is written back to a
+//     quorum (an ordinary WRITE round tagged with the read's OpID)
+//     before the read returns — the classic phase 2 that makes ABD reads
+//     atomic (no new/old inversion).
+//
+// Stats separates the two read paths (FastReads vs SlowReads), and the
+// transport surfaces them on regserve /metrics: under read-heavy loads
+// with a quiescent writer almost every read should take the fast path.
 //
 // There is no join operation — the protocol predates dynamic membership.
 // When this package is run under churn (experiments E4/E8 do this on
@@ -50,6 +60,13 @@ type op struct {
 	readReplies map[core.ProcessID]core.VersionedValue
 	readDone    func(core.VersionedValue)
 
+	// Write-back round of a slow-path read (quorum replies disagreed):
+	// wbVal is the adopted value being propagated; its ACKs route here by
+	// the read's OpID.
+	wb     bool
+	wbVal  core.VersionedValue
+	wbAcks map[core.ProcessID]bool
+
 	writing   bool
 	writeVal  core.VersionedValue
 	writeAck  map[core.ProcessID]bool
@@ -85,6 +102,12 @@ type Stats struct {
 	RepliesSent uint64
 	AcksSent    uint64
 	BottomSent  uint64 // quorum replies carrying ⊥ (passive replacement answering empty)
+	// FastReads counts reads whose quorum replies all agreed on one
+	// ⟨v, sn⟩ and therefore finished in ONE round; SlowReads counts reads
+	// that saw disagreement and paid the write-back round. FastReads +
+	// SlowReads == completed reads.
+	FastReads uint64
+	SlowReads uint64
 }
 
 // New builds a node. Only bootstrap processes are usable endpoints; later
@@ -117,6 +140,7 @@ var (
 	_ core.SNWriter         = (*Node)(nil)
 	_ core.KeyedSnapshotter = (*Node)(nil)
 	_ core.OpAccountant     = (*Node)(nil)
+	_ core.ReadPathCounter  = (*Node)(nil)
 )
 
 func (n *Node) majority() int { return n.env.SystemSize()/2 + 1 }
@@ -153,6 +177,12 @@ func (n *Node) Keys() []core.RegisterID { return n.vals.Keys() }
 // PendingOps implements core.OpAccountant.
 func (n *Node) PendingOps() int { return n.ops.Len() }
 
+// ReadPathCounts implements core.ReadPathCounter: completed one-round
+// fast-path reads vs write-back slow-path reads.
+func (n *Node) ReadPathCounts() (fast, slow uint64) {
+	return n.stats.FastReads, n.stats.SlowReads
+}
+
 // Stats returns a copy of this node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
@@ -185,12 +215,51 @@ func (n *Node) checkRead(id core.OpID, o *op) {
 	if !o.reading || len(o.readReplies) < o.quorum {
 		return
 	}
+	o.reading = false
+	agreed := true
+	var first, freshest core.VersionedValue
+	got := false
 	for _, v := range o.readReplies {
 		n.merge(o.reg, v)
+		if !got {
+			first, freshest, got = v, v, true
+			continue
+		}
+		if v != first {
+			agreed = false
+		}
+		if v.MoreRecent(freshest) {
+			freshest = v
+		}
+	}
+	if agreed {
+		// Fast path: the whole quorum already stores ⟨v, sn⟩, so every
+		// later read's quorum intersects a node at ≥ sn — atomicity holds
+		// with no write-back (arXiv:1601.04820).
+		n.stats.FastReads++
+		n.ops.Finish(id)
+		if o.readDone != nil {
+			o.readDone(freshest)
+		}
+		return
+	}
+	// Slow path: before returning the freshest value, propagate it to a
+	// quorum (phase 2). Until a quorum stores it, a later read could miss
+	// it and return an older value — the new/old inversion.
+	n.stats.SlowReads++
+	o.wb = true
+	o.wbVal = freshest
+	o.wbAcks = make(map[core.ProcessID]bool)
+	core.ScopedBroadcast(n.env, o.reg, core.WriteMsg{From: n.env.ID(), Value: freshest, Reg: o.reg, Op: id})
+}
+
+func (n *Node) checkWriteBack(id core.OpID, o *op) {
+	if !o.wb || len(o.wbAcks) < o.quorum {
+		return
 	}
 	n.ops.Finish(id)
 	if o.readDone != nil {
-		o.readDone(n.value(o.reg))
+		o.readDone(o.wbVal)
 	}
 }
 
@@ -300,6 +369,16 @@ func (n *Node) Deliver(from core.ProcessID, m core.Message) {
 			}
 			o.writeAck[msg.From] = true
 			n.checkWrite(id, o)
+			return
+		}
+		// Not a write's ACK: maybe a slow-path read's write-back round
+		// (the replica echoed the read's OpID).
+		if o, ok := n.ops.Get(msg.Op); ok && o.wb && o.reg == msg.Reg && o.wbVal.SN == msg.SN {
+			if !core.InScope(o.scope, msg.From) {
+				return
+			}
+			o.wbAcks[msg.From] = true
+			n.checkWriteBack(msg.Op, o)
 		}
 	default:
 		panic("abd: unexpected message kind " + m.Kind().String())

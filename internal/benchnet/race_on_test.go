@@ -1,0 +1,7 @@
+//go:build race
+
+package benchnet
+
+// raceEnabled mirrors whether the test binary was built with -race; the
+// allocation-count assertions skip under its instrumentation.
+const raceEnabled = true

@@ -284,6 +284,15 @@ type OpAccountant interface {
 	PendingOps() int
 }
 
+// ReadPathCounter is implemented by protocols whose quorum reads have a
+// one-round fast path (all phase-1 replies agreed, write-back skipped)
+// next to the two-round slow path. The counts are cumulative and read on
+// the node's loop goroutine; metrics endpoints surface them so operators
+// can see what fraction of reads the fast path serves.
+type ReadPathCounter interface {
+	ReadPathCounts() (fast, slow uint64)
+}
+
 // BatchWriter is implemented by protocols that can disseminate updates to
 // several registers in one broadcast (the synchronous protocol: a batched
 // WRITE costs the same single broadcast plus one δ wait as a lone write).

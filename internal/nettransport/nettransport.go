@@ -101,8 +101,23 @@ type Config struct {
 	// a replacement process is often handed the address of the process it
 	// replaces).
 	HandshakeWait time.Duration
-	// QueueLen is the per-peer outbound queue capacity (default 512).
+	// QueueLen is the per-peer outbound queue capacity (default 512;
+	// regserve -queue). Overflow drops the oldest-queued frame (the links
+	// are fair-lossy) and counts it in Stats.QueueDrops.
 	QueueLen int
+	// MailboxLen is the capacity of the process's event-loop mailbox
+	// (default 512; regserve -mailbox). A full mailbox makes enqueuers
+	// wait and counts a Stats.MailboxStalls.
+	MailboxLen int
+	// BatchFrames caps how many queued frames one coalesced flush may
+	// carry (default 64): peer writers greedily drain their queue into a
+	// single buffered write, so a deep queue costs one syscall per batch,
+	// not one per frame.
+	BatchFrames int
+	// BatchBytes caps a coalesced flush's payload bytes (default 64 KiB):
+	// the frame budget alone would let a few giant snapshot frames build
+	// an unboundedly large write buffer.
+	BatchBytes int
 	// EvictAfter drops a peer whose dials have failed continuously for
 	// this long (default 15s). Graceful departures announce themselves
 	// with LEAVE, but that frame is best-effort (the leaver's links may
@@ -149,6 +164,15 @@ func (c *Config) fillDefaults() error {
 	if c.QueueLen <= 0 {
 		c.QueueLen = 512
 	}
+	if c.MailboxLen <= 0 {
+		c.MailboxLen = 512
+	}
+	if c.BatchFrames <= 0 {
+		c.BatchFrames = 64
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
 	if c.EvictAfter <= 0 {
 		c.EvictAfter = 15 * time.Second
 	}
@@ -170,6 +194,39 @@ type Stats struct {
 	SendUnknown    atomic.Uint64 // sends to ids with no address-book entry
 	Reconnects     atomic.Uint64 // successful dials beyond a peer's first
 	DecodeErrors   atomic.Uint64
+	// FlushWrites counts frame-carrying conn.Write calls issued by peer
+	// writers draining their queues; FlushedFrames counts the frames those
+	// writes carried. Their ratio (FramesPerWrite) is the coalescing
+	// factor: 1.0 means every frame paid its own syscall, higher means the
+	// batcher is amortizing.
+	FlushWrites   atomic.Uint64
+	FlushedFrames atomic.Uint64
+	// LastBatchFrames is a gauge: the frame count of the most recently
+	// flushed batch.
+	LastBatchFrames atomic.Uint64
+	// MailboxStalls counts enqueues that found the event-loop mailbox full
+	// and had to wait — sustained growth means the loop is the bottleneck
+	// (raise -mailbox, or shed load).
+	MailboxStalls atomic.Uint64
+}
+
+// FramesPerWrite reports the average coalescing factor — frames flushed
+// per frame-carrying conn.Write — and 0 before the first flush.
+func (s *Stats) FramesPerWrite() float64 {
+	w := s.FlushWrites.Load()
+	if w == 0 {
+		return 0
+	}
+	return float64(s.FlushedFrames.Load()) / float64(w)
+}
+
+// task is one unit of event-loop work: a message delivery carried unboxed
+// (msg != nil) so the frame-receive hot path pays no closure allocation,
+// or an arbitrary closure (timers, client operations).
+type task struct {
+	fn   func()
+	from core.ProcessID
+	msg  core.Message
 }
 
 // Transport hosts one protocol process over TCP.
@@ -179,7 +236,7 @@ type Transport struct {
 	start time.Time
 
 	node    core.Node
-	mailbox chan func()
+	mailbox chan task
 	quit    chan struct{}
 	stopped sync.Once
 	ctx     context.Context
@@ -190,6 +247,10 @@ type Transport struct {
 	byAddr map[string]*peer
 	byID   map[core.ProcessID]*peer
 	conns  map[net.Conn]struct{}
+	// timers tracks pending time.AfterFunc timers (self-sends, loopbacks,
+	// protocol After callbacks) so Close stops them instead of leaking
+	// each until it fires — the livenet fix from PR 2, mirrored.
+	timers map[*time.Timer]struct{}
 	closed bool
 	// pendingInquiry is the encoded join INQUIRY to replay to peers
 	// learned while this process's join is still running (see package
@@ -224,13 +285,14 @@ func New(cfg Config) (*Transport, error) {
 		cfg:     cfg,
 		ln:      ln,
 		start:   time.Now(),
-		mailbox: make(chan func(), 512),
+		mailbox: make(chan task, cfg.MailboxLen),
 		quit:    make(chan struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
 		byAddr:  make(map[string]*peer),
 		byID:    make(map[core.ProcessID]*peer),
 		conns:   make(map[net.Conn]struct{}),
+		timers:  make(map[*time.Timer]struct{}),
 	}
 	t.node = cfg.Factory(t, core.SpawnContext{
 		Bootstrap:   cfg.Bootstrap,
@@ -319,6 +381,10 @@ func (t *Transport) Close() {
 		for _, p := range t.byAddr {
 			p.stop()
 		}
+		for tm := range t.timers {
+			tm.Stop()
+		}
+		t.timers = nil
 		t.mu.Unlock()
 	})
 	t.wg.Wait()
@@ -409,12 +475,10 @@ func (t *Transport) Invoke(fn func(core.Node)) error {
 		return ErrClosed
 	default:
 	}
-	select {
-	case t.mailbox <- func() { fn(t.node) }:
-		return nil
-	case <-t.quit:
+	if !t.post(task{fn: func() { fn(t.node) }}) {
 		return ErrClosed
 	}
+	return nil
 }
 
 func (t *Transport) invoker() nodeops.Invoke { return t.Invoke }
@@ -479,9 +543,7 @@ func (t *Transport) Send(to core.ProcessID, m core.Message) {
 	default:
 	}
 	if to == t.cfg.ID {
-		time.AfterFunc(t.cfg.Tick, func() {
-			t.enqueue(func() { t.node.Deliver(to, m) })
-		})
+		t.afterFunc(t.cfg.Tick, func() { t.enqueueDeliver(to, m) })
 		return
 	}
 	payload, err := t.encodeMsg(m)
@@ -520,9 +582,7 @@ func (t *Transport) Broadcast(m core.Message) {
 		t.mu.Unlock()
 	}
 	self := m
-	time.AfterFunc(t.cfg.Tick, func() {
-		t.enqueue(func() { t.node.Deliver(t.cfg.ID, self) })
-	})
+	t.afterFunc(t.cfg.Tick, func() { t.enqueueDeliver(t.cfg.ID, self) })
 	t.mu.Lock()
 	ps := t.peersLocked()
 	t.mu.Unlock()
@@ -532,9 +592,31 @@ func (t *Transport) Broadcast(m core.Message) {
 }
 
 // After implements core.Env: fn runs on the loop goroutine after d ticks,
-// suppressed once the process has shut down.
+// suppressed once the process has shut down. The timer is tracked, so a
+// Close before it fires stops it rather than leaking it.
 func (t *Transport) After(d sim.Duration, fn func()) {
-	time.AfterFunc(time.Duration(d)*t.cfg.Tick, func() { t.enqueue(fn) })
+	t.afterFunc(time.Duration(d)*t.cfg.Tick, func() { t.enqueue(fn) })
+}
+
+// afterFunc schedules fn on a tracked timer: Close stops every pending
+// one, so a torn-down transport holds no timer (or its goroutine, once
+// fired) alive until the deadline. No-op once closed.
+func (t *Transport) afterFunc(d time.Duration, fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		// Untrack first. The map read of tm is ordered after the
+		// registration below by t.mu.
+		t.mu.Lock()
+		delete(t.timers, tm)
+		t.mu.Unlock()
+		fn()
+	})
+	t.timers[tm] = struct{}{}
 }
 
 // Delta implements core.Env.
@@ -613,8 +695,12 @@ func (t *Transport) loop() {
 	defer t.wg.Done()
 	for {
 		select {
-		case fn := <-t.mailbox:
-			fn()
+		case tk := <-t.mailbox:
+			if tk.msg != nil {
+				t.node.Deliver(tk.from, tk.msg)
+			} else {
+				tk.fn()
+			}
 		case <-t.quit:
 			return
 		}
@@ -623,9 +709,31 @@ func (t *Transport) loop() {
 
 // enqueue posts fn to the loop, giving up if the process stops first.
 func (t *Transport) enqueue(fn func()) {
+	t.post(task{fn: fn})
+}
+
+// enqueueDeliver posts one message delivery to the loop without building a
+// closure — the per-frame receive path.
+func (t *Transport) enqueueDeliver(from core.ProcessID, m core.Message) {
+	t.post(task{from: from, msg: m})
+}
+
+// post is the one mailbox protocol every producer shares: try without
+// blocking, count a stall if the mailbox is full, then wait for a slot
+// (backpressure on producers beats dropping loop work). Reports whether
+// the task was accepted (false: the transport stopped first).
+func (t *Transport) post(tk task) bool {
 	select {
-	case t.mailbox <- fn:
+	case t.mailbox <- tk:
+		return true
+	default:
+	}
+	t.stats.MailboxStalls.Add(1)
+	select {
+	case t.mailbox <- tk:
+		return true
 	case <-t.quit:
+		return false
 	}
 }
 
@@ -816,8 +924,12 @@ func (t *Transport) readConn(conn net.Conn, own *peer, accepted bool, onDead fun
 	if onDead != nil {
 		defer onDead()
 	}
+	// One buffered scanner per connection: header and payload reads go
+	// through bufio (a batched flush from the remote surfaces as one
+	// kernel read), and the payload buffer is reused across frames.
+	sc := wire.NewScanner(conn)
 	for {
-		f, err := wire.ReadFrame(conn)
+		f, err := sc.Next()
 		if err != nil {
 			if !isClosedErr(err) {
 				t.stats.DecodeErrors.Add(1)
@@ -852,8 +964,7 @@ func (t *Transport) readConn(conn net.Conn, own *peer, accepted bool, onDead fun
 				t.learnPeer(p.ID, p.Addr)
 			}
 		case wire.FrameMsg:
-			from, msg := f.From, f.Msg
-			t.enqueue(func() { t.node.Deliver(from, msg) })
+			t.enqueueDeliver(f.From, f.Msg)
 		case wire.FrameLeave:
 			t.forgetPeer(f.From)
 		}
@@ -871,7 +982,8 @@ func isClosedErr(err error) bool {
 	return errors.As(err, &ne)
 }
 
-// peer is one outbound link: a queue drained by a dial/redial writer.
+// peer is one outbound link: a queue drained by a dial/redial writer that
+// coalesces queued frames into batched writes.
 type peer struct {
 	addr string
 	// id is the peer's identity once learned (guarded by the transport's
@@ -880,13 +992,20 @@ type peer struct {
 	out     chan []byte
 	quit    chan struct{}
 	stopped sync.Once
-	// inflight is a frame whose write failed when the connection broke;
-	// drain retries it first after the reconnect (only the writer
-	// goroutine touches it). Frames the remote had not yet read from its
-	// kernel buffer are still lost — the link is fair-lossy, not reliable
-	// — but not losing the frame we were holding shrinks the loss window
-	// considerably.
-	inflight []byte
+	// inflight holds the payloads of a batch whose write failed when the
+	// connection broke; drain retries them first after the reconnect
+	// (only the writer goroutine touches it). Frames the remote had not
+	// yet read from its kernel buffer are still lost — the link is
+	// fair-lossy, not reliable — but requeuing the batch we were holding
+	// shrinks the loss window considerably (the protocols tolerate the
+	// duplicates a partially-delivered batch implies).
+	inflight [][]byte
+	// scratch and flushBuf are the writer's reusable batch state: the
+	// payload slice gathered per flush and the single buffer the whole
+	// batch is rendered into (length prefixes included) for its one
+	// conn.Write. Writer-goroutine-owned.
+	scratch  [][]byte
+	flushBuf []byte
 }
 
 func (p *peer) stop() { p.stopped.Do(func() { close(p.quit) }) }
@@ -979,8 +1098,13 @@ func (p *peer) run(t *Transport) {
 	}
 }
 
-// drain writes HELLO then queued frames until the connection breaks
-// (returns true: redial) or the peer stops (returns false).
+// drain writes HELLO, then coalesces queued frames into batched writes —
+// greedily pulling every ready frame up to the configured frame/byte
+// budget and flushing the whole batch in ONE conn.Write — until the
+// connection breaks (returns true: redial) or the peer stops (returns
+// false). HELLO always leads its connection: it is flushed alone, before
+// any requeued or freshly queued frame, so the remote binds the link's
+// identity before protocol traffic arrives.
 func (p *peer) drain(t *Transport, conn net.Conn, connDead <-chan struct{}) bool {
 	write := func(b []byte) bool {
 		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
@@ -995,13 +1119,37 @@ func (p *peer) drain(t *Transport, conn net.Conn, connDead <-chan struct{}) bool
 		return err == nil
 	}
 	t.stats.FramesSent.Add(1)
-	if p.inflight != nil {
-		payload := p.inflight
-		if !write(wire.FrameBytes(payload)) {
+
+	// flush renders batch into one buffer — length prefixes included —
+	// and writes it with a single syscall. On failure the whole batch is
+	// requeued: the kernel may have taken a prefix of it, so the remote
+	// can see duplicates after the redial, which the protocols tolerate
+	// (quorums dedupe by sender, merges are idempotent).
+	flush := func(batch [][]byte) bool {
+		buf := p.flushBuf[:0]
+		for _, payload := range batch {
+			buf = wire.AppendPayloadBytes(buf, payload)
+		}
+		p.flushBuf = buf
+		if !write(buf) {
+			p.inflight = append(p.inflight, batch...)
+			return false
+		}
+		t.stats.FlushWrites.Add(1)
+		t.stats.FlushedFrames.Add(uint64(len(batch)))
+		t.stats.LastBatchFrames.Store(uint64(len(batch)))
+		return true
+	}
+
+	// Retry the batch the previous connection died holding.
+	if len(p.inflight) > 0 {
+		batch := p.inflight
+		p.inflight = nil
+		if !flush(batch) {
 			return true
 		}
-		p.inflight = nil
 	}
+	maxFrames, maxBytes := t.cfg.BatchFrames, t.cfg.BatchBytes
 	for {
 		select {
 		case <-p.quit:
@@ -1014,8 +1162,22 @@ func (p *peer) drain(t *Transport, conn net.Conn, connDead <-chan struct{}) bool
 			conn.Close()
 			return true
 		case payload := <-p.out:
-			if !write(wire.FrameBytes(payload)) {
-				p.inflight = payload
+			// Greedily gather everything already queued, up to budget:
+			// under pipelined load the queue refills faster than the
+			// kernel takes writes, so most flushes carry many frames.
+			batch := append(p.scratch[:0], payload)
+			size := len(payload)
+			for len(batch) < maxFrames && size < maxBytes {
+				select {
+				case more := <-p.out:
+					batch = append(batch, more)
+					size += len(more)
+				default:
+					size = maxBytes // queue empty: stop gathering
+				}
+			}
+			p.scratch = batch[:0]
+			if !flush(batch) {
 				return true
 			}
 		}

@@ -260,6 +260,16 @@ func (n *Node) Keys() []core.RegisterID {
 	return nil
 }
 
+// ReadPathCounts implements core.ReadPathCounter by delegation: the
+// wrapper adds no read round-trips of its own, so the inner protocol's
+// fast/slow split is the node's. Zero for protocols without the counter.
+func (n *Node) ReadPathCounts() (fast, slow uint64) {
+	if c, ok := n.inner.(core.ReadPathCounter); ok {
+		return c.ReadPathCounts()
+	}
+	return 0, 0
+}
+
 // PendingOps implements core.OpAccountant: the inner table plus the
 // wrapper's forwarding table plus queued (shard-blocked) operations.
 func (n *Node) PendingOps() int {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire_test
+
+// raceEnabled mirrors whether the test binary was built with -race. The
+// allocation-ceiling tests skip under the race detector, whose
+// instrumentation perturbs allocation counts.
+const raceEnabled = false

@@ -121,22 +121,36 @@ var (
 	ErrAddrLength = errors.New("wire: address exceeds size bound")
 )
 
-// EncodeFrame renders f as a payload (without the length prefix).
+// EncodeFrame renders f as a payload (without the length prefix) into a
+// fresh buffer. Hot paths that reuse buffers call AppendFrame instead;
+// this wrapper exists for the cold paths and the tests.
 func EncodeFrame(f Frame) ([]byte, error) {
-	b := make([]byte, 2, 64)
-	b[0] = Version
-	b[1] = byte(f.Type)
+	b, err := AppendFrame(make([]byte, 0, 64), f)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AppendFrame appends f's payload (version byte, frame type byte, body) to
+// dst and returns the extended slice. It allocates only when dst lacks
+// capacity, so steady-state encoding into a recycled buffer performs zero
+// heap allocations (TestAppendFrameZeroAllocs enforces this). On error dst
+// is returned unchanged.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	b := append(dst, Version, byte(f.Type))
 	switch f.Type {
 	case FrameMsg:
 		b = be64(b, int64(f.From))
 		var err error
 		b, err = AppendMessage(b, f.Msg)
 		if err != nil {
-			return nil, err
+			return dst[:start], err
 		}
 	case FrameHello:
 		if len(f.Addr) > MaxAddr {
-			return nil, ErrAddrLength
+			return dst[:start], ErrAddrLength
 		}
 		b = be64(b, int64(f.From))
 		b = binary.BigEndian.AppendUint16(b, uint16(len(f.Addr)))
@@ -145,7 +159,7 @@ func EncodeFrame(f Frame) ([]byte, error) {
 		b = binary.BigEndian.AppendUint32(b, uint32(len(f.Peers)))
 		for _, p := range f.Peers {
 			if len(p.Addr) > MaxAddr {
-				return nil, ErrAddrLength
+				return dst[:start], ErrAddrLength
 			}
 			b = be64(b, int64(p.ID))
 			b = binary.BigEndian.AppendUint16(b, uint16(len(p.Addr)))
@@ -154,12 +168,36 @@ func EncodeFrame(f Frame) ([]byte, error) {
 	case FrameLeave:
 		b = be64(b, int64(f.From))
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrFrameType, byte(f.Type))
+		return dst[:start], fmt.Errorf("%w: %d", ErrFrameType, byte(f.Type))
 	}
-	if len(b) > MaxFrame {
-		return nil, ErrTooLarge
+	if len(b)-start > MaxFrame {
+		return dst[:start], ErrTooLarge
 	}
 	return b, nil
+}
+
+// AppendFrameBytes appends f's complete wire form — length prefix plus
+// payload — to dst and returns the extended slice. This is the coalescing
+// transport's workhorse: many frames append into one flush buffer, and the
+// whole buffer leaves in a single write. On error dst is returned
+// unchanged.
+func AppendFrameBytes(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backfilled below
+	out, err := AppendFrame(dst, f)
+	if err != nil {
+		return dst[:start], err
+	}
+	binary.BigEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+	return out, nil
+}
+
+// AppendPayloadBytes appends an already-encoded payload with its length
+// prefix to dst: the coalescing path for pre-encoded frames (the
+// transport's per-peer queues carry payloads, not Frames).
+func AppendPayloadBytes(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
 }
 
 // DecodeFrame parses one payload. It returns an error — never panics — on
@@ -214,10 +252,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 // callers that pre-encode payloads (the transport's per-peer queues) use
 // this rather than re-deriving the framing.
 func FrameBytes(payload []byte) []byte {
-	buf := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
-	return buf
+	return AppendPayloadBytes(make([]byte, 0, 4+len(payload)), payload)
 }
 
 // WriteFrame encodes f and writes it with its length prefix in one Write

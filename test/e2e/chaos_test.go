@@ -70,6 +70,22 @@ func TestE2EChaosPipelined(t *testing.T) {
 	runChaos(t, cfg, 7) // pinned regression seed
 }
 
+// TestE2EChaosCoalesced is the deep-pipeline regression for the frame-
+// coalescing write path: 128 concurrent writer clients keep node 1's
+// per-peer queues persistently deep, so nearly every quorum broadcast
+// leaves in a multi-frame batched write — while the schedule still kills,
+// replaces and reconnects processes mid-traffic (batches dying with their
+// connections, inflight requeues, HELLO-before-batch ordering all
+// exercised over real sockets, under -race in CI). Per-key regularity
+// from the client-observed history is the verdict, as everywhere.
+func TestE2EChaosCoalesced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs OS processes; skipped in -short")
+	}
+	cfg := chaosConfig{protocol: "esync", delta: 5, tick: "1ms", duration: 4 * time.Second, inflight: 128}
+	runChaos(t, cfg, 7) // pinned regression seed
+}
+
 // TestE2EChaos is the acceptance suite: ≥3 regserve OS processes on
 // random ports run a seeded chaos schedule — concurrent reads, writes and
 // multi-key batches, plus a process join, a graceful departure, and a
