@@ -20,6 +20,11 @@
 //     read fast/slow split, and macro regserve throughput from 6 OS
 //     processes at 128 in-flight HTTP clients (-skip-macro to omit; the
 //     macro leg builds cmd/regserve with the go toolchain).
+//   - client (internal/benchclient): naive single-node HTTP entry vs the
+//     wire-native smart client routing direct to shard owners, bracketed
+//     by regserve_forward_total scrapes so the relay hop is visible, plus
+//     open-loop latency percentiles per op mix (-skip-client to omit;
+//     like the macro leg it builds and spawns regserve).
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"churnreg/internal/benchclient"
 	"churnreg/internal/benchnet"
 	"churnreg/internal/benchpipe"
 	"churnreg/internal/benchshard"
@@ -48,13 +54,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", ".", "directory to write BENCH_<name>.json files into")
-		depths    = fs.String("depths", "1,16,128", "comma-separated in-flight depths for the pipeline benchmark")
-		ops       = fs.Int("ops", 25, "operations per worker per depth")
-		n         = fs.Int("n", 5, "cluster size")
-		delta     = fs.Int64("delta", 5, "δ in ticks")
-		tick      = fs.Duration("tick", time.Millisecond, "real duration of one tick")
-		skipMacro = fs.Bool("skip-macro", false, "skip the net benchmark's OS-process macro leg (needs the go toolchain to build regserve)")
+		out        = fs.String("out", ".", "directory to write BENCH_<name>.json files into")
+		depths     = fs.String("depths", "1,16,128", "comma-separated in-flight depths for the pipeline benchmark")
+		ops        = fs.Int("ops", 25, "operations per worker per depth")
+		n          = fs.Int("n", 5, "cluster size")
+		delta      = fs.Int64("delta", 5, "δ in ticks")
+		tick       = fs.Duration("tick", time.Millisecond, "real duration of one tick")
+		skipMacro  = fs.Bool("skip-macro", false, "skip the net benchmark's OS-process macro leg (needs the go toolchain to build regserve)")
+		skipClient = fs.Bool("skip-client", false, "skip the client benchmark (spawns an OS-process regserve cluster like the macro leg)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +129,26 @@ func run(args []string) error {
 	if nrep.Macro != nil {
 		fmt.Printf("net macro N=%d inflight=%d: %8.1f ops/sec (%d ops in %.2fs)\n",
 			nrep.Macro.Nodes, nrep.Macro.Inflight, nrep.Macro.OpsPerSec, nrep.Macro.Ops, nrep.Macro.Seconds)
+	}
+
+	if !*skipClient {
+		crep, err := benchclient.Run(benchclient.Config{})
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(filepath.Join(*out, "BENCH_client.json"), crep); err != nil {
+			return err
+		}
+		fmt.Printf("client %-11s: %8.1f ops/sec (%d ops, %d forward relays)\n",
+			crep.HTTPNaive.Mode, crep.HTTPNaive.OpsPerSec, crep.HTTPNaive.Ops, crep.HTTPNaive.ForwardRelays)
+		fmt.Printf("client %-11s: %8.1f ops/sec (%d ops, %d forward relays) — %.1fx direct-routing speedup\n",
+			crep.WireDirect.Mode, crep.WireDirect.OpsPerSec, crep.WireDirect.Ops, crep.WireDirect.ForwardRelays, crep.DirectSpeedup)
+		for _, ol := range crep.OpenLoop {
+			fmt.Printf("client open-loop %s (%.0f%% writes) @ %.0f/s: read p50/p95/p99 %.1f/%.1f/%.1f ms, write %.1f/%.1f/%.1f ms\n",
+				ol.Mix.Name, ol.Mix.WriteFraction*100, ol.RateOpsPerSec,
+				ol.ReadP50Ms, ol.ReadP95Ms, ol.ReadP99Ms,
+				ol.WriteP50Ms, ol.WriteP95Ms, ol.WriteP99Ms)
+		}
 	}
 	return nil
 }

@@ -12,6 +12,8 @@ import (
 
 	"churnreg/internal/core"
 	"churnreg/internal/nettransport"
+	"churnreg/internal/nodeops"
+	"churnreg/internal/shard"
 )
 
 // fakeBackend implements the api's backend interface in memory: writes
@@ -27,6 +29,9 @@ type fakeBackend struct {
 	sharded bool
 	// stats is what Stats() serves; tests may pre-load counters.
 	stats nettransport.Stats
+	// readErr / writeErr, when set, fail the respective operations — the
+	// hook the error-status tests use.
+	readErr, writeErr error
 }
 
 func newFakeBackend() *fakeBackend {
@@ -36,10 +41,16 @@ func newFakeBackend() *fakeBackend {
 func (f *fakeBackend) ReadKey(reg core.RegisterID, _ time.Duration) (core.VersionedValue, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.readErr != nil {
+		return core.VersionedValue{}, f.readErr
+	}
 	return f.vals[reg], nil
 }
 
 func (f *fakeBackend) WriteKey(reg core.RegisterID, v core.Value, _ time.Duration) (core.VersionedValue, error) {
+	if f.writeErr != nil {
+		return core.VersionedValue{}, f.writeErr
+	}
 	if f.hold != nil {
 		<-f.hold
 	}
@@ -92,6 +103,12 @@ func (stubNode) Active() bool                                { return true }
 func (stubNode) Deliver(from core.ProcessID, m core.Message) {}
 func (stubNode) Snapshot() core.VersionedValue               { return core.VersionedValue{} }
 func (stubNode) ReadPathCounts() (uint64, uint64)            { return 5, 2 }
+
+// Stats satisfies the api's forwardCounter slice with fixed relay
+// counts, so the regserve_forward_* series is observable.
+func (stubNode) Stats() shard.Stats {
+	return shard.Stats{ForwardedReads: 4, ForwardedWrites: 1, ForwardsServed: 7, ForwardsRefused: 2}
+}
 
 func (f *fakeBackend) ShardInfo() (int, int, int) {
 	if f.sharded {
@@ -299,6 +316,76 @@ func TestAPITransportAndReadPathMetrics(t *testing.T) {
 		"regserve_transport_queue_drops_total 2",
 		`regserve_read_path_total{path="fast"} 5`,
 		`regserve_read_path_total{path="slow"} 2`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics output missing %q:\n%s", line, body)
+		}
+	}
+}
+
+// TestAPIErrorStatuses pins the error-to-status map the wire client's
+// HTTP-facing cousins depend on — above all that the two routing
+// failures stay DISTINCT: 503 says "not applied, retry freely", 502 says
+// "fate unknown, do NOT blindly retry". Collapsing them would turn every
+// ambiguous write into a client retry and break the per-key write
+// discipline.
+func TestAPIErrorStatuses(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		op     string
+		status int
+	}{
+		{"unroutable read", core.ErrUnroutable, "read", http.StatusServiceUnavailable},
+		{"unroutable write", core.ErrUnroutable, "write", http.StatusServiceUnavailable},
+		{"unacknowledged write", core.ErrUnacknowledged, "write", http.StatusBadGateway},
+		{"not active", core.ErrNotActive, "read", http.StatusServiceUnavailable},
+		{"op in progress", core.ErrOpInProgress, "write", http.StatusConflict},
+		{"timeout", nodeops.ErrTimeout, "read", http.StatusGatewayTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newFakeBackend()
+			var status int
+			var body string
+			if tc.op == "read" {
+				b.readErr = tc.err
+				srv := newTestAPI(t, b)
+				status, body = get(t, srv.URL+"/read?key=1")
+			} else {
+				b.writeErr = tc.err
+				srv := newTestAPI(t, b)
+				status, body = post(t, srv.URL+"/write?key=1&val=2")
+			}
+			if status != tc.status {
+				t.Fatalf("%s %v: status %d, want %d (%s)", tc.op, tc.err, status, tc.status, body)
+			}
+			// The body names the error — operators and clients see which
+			// failure this was, not just the class.
+			var out struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(body), &out); err != nil || out.Error == "" {
+				t.Fatalf("%s %v: body %q does not carry the error", tc.op, tc.err, body)
+			}
+		})
+	}
+}
+
+// TestAPIForwardMetrics: the relay-hop counters from the shard wrapper
+// render on /metrics — the series the direct-routing benchmark scrapes
+// to prove the smart client eliminated the FORWARD hop.
+func TestAPIForwardMetrics(t *testing.T) {
+	srv := newTestAPI(t, newFakeBackend())
+	status, body := get(t, srv.URL+"/metrics")
+	if status != 200 {
+		t.Fatalf("metrics status %d", status)
+	}
+	for _, line := range []string{
+		`regserve_forward_total{op="read"} 4`,
+		`regserve_forward_total{op="write"} 1`,
+		"regserve_forward_served_total 7",
+		"regserve_forward_refused_total 2",
 	} {
 		if !strings.Contains(body, line) {
 			t.Fatalf("metrics output missing %q:\n%s", line, body)

@@ -158,15 +158,18 @@ func parseFlags(args []string, errW io.Writer) (*serverConfig, error) {
 			cfg.peers = append(cfg.peers, p)
 		}
 	}
-	if _, err := factoryFor(cfg.protocol, cfg.shards > 0); err != nil {
+	if _, err := factoryFor(cfg.protocol); err != nil {
 		return nil, err
 	}
 	return cfg, nil
 }
 
-// factoryFor resolves the protocol factory, wrapped in the sharding
-// layer when the keyspace is sharded.
-func factoryFor(protocol string, sharded bool) (core.NodeFactory, error) {
+// factoryFor resolves the protocol factory, always wrapped in the
+// sharding layer: the wrapper is what understands FORWARD operations, and
+// wire clients submit every operation as a FORWARD — so even an unsharded
+// node needs it (with no placement the wrapper serves every key locally,
+// adding nothing but the client-serving path).
+func factoryFor(protocol string) (core.NodeFactory, error) {
 	var f core.NodeFactory
 	switch protocol {
 	case "sync":
@@ -180,10 +183,7 @@ func factoryFor(protocol string, sharded bool) (core.NodeFactory, error) {
 	default:
 		return nil, fmt.Errorf("unknown protocol %q (want sync, esync, abd, or multiwriter)", protocol)
 	}
-	if sharded {
-		f = shard.Factory(f)
-	}
-	return f, nil
+	return shard.Factory(f), nil
 }
 
 func run(args []string, out, errW io.Writer) error {
@@ -191,7 +191,7 @@ func run(args []string, out, errW io.Writer) error {
 	if err != nil {
 		return err
 	}
-	factory, err := factoryFor(cfg.protocol, cfg.shards > 0)
+	factory, err := factoryFor(cfg.protocol)
 	if err != nil {
 		return err
 	}
@@ -319,6 +319,7 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	a.ops.WritePrometheus(w)
 	a.writeTransportMetrics(w)
 	a.writeReadPathMetrics(w)
+	a.writeForwardMetrics(w)
 	shards, owned, repl := a.tr.ShardInfo()
 	if shards == 0 {
 		return
@@ -399,6 +400,54 @@ func (a *api) writeReadPathMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(w, "# TYPE regserve_read_path_total counter\n")
 		fmt.Fprintf(w, "regserve_read_path_total{path=\"fast\"} %d\n", c.fast)
 		fmt.Fprintf(w, "regserve_read_path_total{path=\"slow\"} %d\n", c.slow)
+	case <-timer.C:
+	}
+}
+
+// forwardCounter is the slice of the shard wrapper the forward-relay
+// series needs. *shard.Node implements it; handler tests stub it.
+type forwardCounter interface {
+	Stats() shard.Stats
+}
+
+// writeForwardMetrics renders the relay-hop counters: operations this
+// node could not serve locally and forwarded to a replica (the cost a
+// placement-aware client avoids by routing direct — under a smart client
+// regserve_forward_total stays ≈0), plus the receiving side (forwards
+// this node served or refused). Fetched through one loop round-trip like
+// the read-path series.
+func (a *api) writeForwardMetrics(w http.ResponseWriter) {
+	done := make(chan *shard.Stats, 1)
+	go func() {
+		err := a.tr.Invoke(func(n core.Node) {
+			if fc, ok := n.(forwardCounter); ok {
+				s := fc.Stats()
+				done <- &s
+				return
+			}
+			done <- nil
+		})
+		if err != nil {
+			done <- nil
+		}
+	}()
+	timer := time.NewTimer(2 * time.Second)
+	defer timer.Stop()
+	select {
+	case s := <-done:
+		if s == nil {
+			return
+		}
+		fmt.Fprintf(w, "# HELP regserve_forward_total Operations relayed to a replica instead of served from this node's local state.\n")
+		fmt.Fprintf(w, "# TYPE regserve_forward_total counter\n")
+		fmt.Fprintf(w, "regserve_forward_total{op=\"read\"} %d\n", s.ForwardedReads)
+		fmt.Fprintf(w, "regserve_forward_total{op=\"write\"} %d\n", s.ForwardedWrites)
+		fmt.Fprintf(w, "# HELP regserve_forward_served_total Forwarded operations this node served from local state (relayed by a peer or submitted by a wire client).\n")
+		fmt.Fprintf(w, "# TYPE regserve_forward_served_total counter\n")
+		fmt.Fprintf(w, "regserve_forward_served_total %d\n", s.ForwardsServed)
+		fmt.Fprintf(w, "# HELP regserve_forward_refused_total Forwarded operations this node refused (wrong replica, not active, or busy).\n")
+		fmt.Fprintf(w, "# TYPE regserve_forward_refused_total counter\n")
+		fmt.Fprintf(w, "regserve_forward_refused_total %d\n", s.ForwardsRefused)
 	case <-timer.C:
 	}
 }
@@ -551,6 +600,11 @@ func (a *api) ensureToken() error {
 		won := make(chan bool, 1)
 		errc := make(chan error, 1)
 		err := a.tr.Invoke(func(n core.Node) {
+			// Every protocol node rides inside the shard wrapper; the token
+			// lives on the inner multiwriter.
+			if sn, ok := n.(*shard.Node); ok {
+				n = sn.Inner()
+			}
 			mw, ok := n.(*multiwriter.Node)
 			if !ok {
 				errc <- fmt.Errorf("node %T is not a multiwriter", n)

@@ -53,12 +53,12 @@ func TestParseFlagsPeersList(t *testing.T) {
 
 func TestFactoryForCoversEveryProtocol(t *testing.T) {
 	for _, p := range []string{"sync", "esync", "abd", "multiwriter"} {
-		f, err := factoryFor(p, false)
+		f, err := factoryFor(p)
 		if err != nil || f == nil {
 			t.Fatalf("factoryFor(%q): %v", p, err)
 		}
 	}
-	if _, err := factoryFor("nope", false); err == nil {
+	if _, err := factoryFor("nope"); err == nil {
 		t.Fatal("factoryFor accepted unknown protocol")
 	}
 }

@@ -1,0 +1,582 @@
+// Package benchclient measures what the wire-native smart client buys,
+// producing the BENCH_client.json artifact (via cmd/benchjson or
+// cmd/regbench -compare):
+//
+//   - Closed-loop throughput of the naive path (HTTP API on one node of
+//     a sharded cluster, so most operations pay a server-side FORWARD
+//     relay to the owning replica group) against the smart path (the
+//     client/ package routing every operation straight to a server that
+//     serves it locally). The ratio is the edge+relay overhead the
+//     direct-routing client eliminates; the scraped
+//     regserve_forward_total deltas prove WHERE the difference comes
+//     from (relays ≈ 0 under the smart client).
+//   - Open-loop latency per operation mix: arrivals at a fixed rate with
+//     each op's latency measured from its SCHEDULED arrival time, so a
+//     stalled server inflates the tail instead of silently slowing the
+//     arrival process (the coordinated-omission trap a closed loop
+//     cannot avoid).
+//
+// The cluster is real: regserve OS processes over TCP, spawned the same
+// way internal/benchnet's macro leg spawns them.
+package benchclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"churnreg/client"
+)
+
+// Config parameterizes one Run.
+type Config struct {
+	// Nodes is the regserve cluster size (default 5); Shards and
+	// Replication the placement constants (defaults 8 and 3 — with 5
+	// nodes most keys are NOT replicated on any single chosen node, so
+	// the naive path genuinely relays).
+	Nodes       int
+	Shards      int
+	Replication int
+	// Keys is the keyspace the workload spreads over (default 64).
+	Keys int
+	// Inflight is the closed-loop worker count per comparison leg
+	// (default 64); Duration how long each leg runs (default 3s).
+	Inflight int
+	Duration time.Duration
+	// Rate is the open-loop arrival rate in ops/sec (default 1000);
+	// OpenOps the number of scheduled arrivals per mix (default 3000).
+	Rate    float64
+	OpenOps int
+	// Mixes are the open-loop operation mixes (default read-heavy 90/10
+	// and write-heavy 50/50).
+	Mixes []Mix
+	// BinPath points at a prebuilt regserve binary; empty means build one.
+	BinPath string
+	// SkipOpenLoop omits the latency legs (the floor test trims to the
+	// throughput comparison).
+	SkipOpenLoop bool
+}
+
+// Mix names one open-loop operation mix.
+type Mix struct {
+	Name          string  `json:"name"`
+	WriteFraction float64 `json:"write_fraction"`
+}
+
+func (c *Config) fillDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 5
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = 64
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if c.OpenOps <= 0 {
+		c.OpenOps = 3000
+	}
+	if len(c.Mixes) == 0 {
+		c.Mixes = []Mix{{Name: "read_heavy", WriteFraction: 0.1}, {Name: "write_heavy", WriteFraction: 0.5}}
+	}
+}
+
+// LegResult is one closed-loop throughput measurement.
+type LegResult struct {
+	// Mode is "http_naive" (HTTP API on one node, server-side FORWARD
+	// relays) or "wire_direct" (the client/ package routing direct).
+	Mode      string  `json:"mode"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// ForwardRelays is the cluster-wide regserve_forward_total delta over
+	// the leg: operations some node had to relay instead of serving
+	// where they arrived. The naive leg relays most operations; the
+	// smart leg's count stays ≈ 0.
+	ForwardRelays uint64 `json:"forward_relays"`
+}
+
+// OpenLoopResult is one open-loop latency measurement.
+type OpenLoopResult struct {
+	Mix           Mix     `json:"mix"`
+	RateOpsPerSec float64 `json:"rate_ops_per_sec"`
+	Ops           int     `json:"ops"`
+	Errors        int     `json:"errors"`
+	Seconds       float64 `json:"seconds"`
+	// Latencies are measured from each op's SCHEDULED arrival time
+	// (open-loop: queueing delay counts, coordinated omission does not
+	// hide).
+	ReadP50Ms  float64 `json:"read_p50_ms"`
+	ReadP95Ms  float64 `json:"read_p95_ms"`
+	ReadP99Ms  float64 `json:"read_p99_ms"`
+	WriteP50Ms float64 `json:"write_p50_ms"`
+	WriteP95Ms float64 `json:"write_p95_ms"`
+	WriteP99Ms float64 `json:"write_p99_ms"`
+}
+
+// Report is the artifact serialized as BENCH_client.json.
+type Report struct {
+	Name        string `json:"name"`
+	Nodes       int    `json:"nodes"`
+	Shards      int    `json:"shards"`
+	Replication int    `json:"replication"`
+	Keys        int    `json:"keys"`
+	Inflight    int    `json:"inflight"`
+
+	HTTPNaive  LegResult `json:"http_naive"`
+	WireDirect LegResult `json:"wire_direct"`
+	// DirectSpeedup is wire_direct ÷ http_naive ops/sec — the number the
+	// ≥1.5x acceptance floor guards.
+	DirectSpeedup float64 `json:"direct_speedup"`
+
+	// OpenLoop is one latency measurement per configured mix, through
+	// the wire client (omitted by SkipOpenLoop).
+	OpenLoop []OpenLoopResult `json:"open_loop,omitempty"`
+}
+
+// Run spawns the cluster and produces the full report.
+func Run(cfg Config) (Report, error) {
+	cfg.fillDefaults()
+	rep := Report{Name: "client", Nodes: cfg.Nodes, Shards: cfg.Shards,
+		Replication: cfg.Replication, Keys: cfg.Keys, Inflight: cfg.Inflight}
+
+	cl, err := spawnCluster(cfg)
+	if err != nil {
+		return rep, err
+	}
+	defer cl.stop()
+
+	// Warm the keyspace so reads in both legs observe real values and no
+	// leg pays first-write costs the other skipped.
+	c, err := client.Dial(client.Config{Seeds: cl.wireAddrs()})
+	if err != nil {
+		return rep, fmt.Errorf("dialing warmup client: %w", err)
+	}
+	defer c.Close()
+	for k := 0; k < cfg.Keys; k++ {
+		if _, err := c.Write(int64(k), int64(k)); err != nil {
+			return rep, fmt.Errorf("warmup write key %d: %w", k, err)
+		}
+	}
+
+	if rep.HTTPNaive, err = cl.runClosedLoop(cfg, "http_naive", HTTPOpFunc(cl.nodes[0].api)); err != nil {
+		return rep, fmt.Errorf("http leg: %w", err)
+	}
+	if rep.WireDirect, err = cl.runClosedLoop(cfg, "wire_direct", wireOpFunc(c)); err != nil {
+		return rep, fmt.Errorf("wire leg: %w", err)
+	}
+	if rep.HTTPNaive.OpsPerSec > 0 {
+		rep.DirectSpeedup = rep.WireDirect.OpsPerSec / rep.HTTPNaive.OpsPerSec
+	}
+
+	if !cfg.SkipOpenLoop {
+		for _, mix := range cfg.Mixes {
+			res, err := RunOpenLoop(OpenLoopConfig{
+				Rate: cfg.Rate, Ops: cfg.OpenOps, Keys: cfg.Keys,
+				WriteFraction: mix.WriteFraction, Seed: 1, Do: wireOpFunc(c),
+			})
+			if err != nil {
+				return rep, fmt.Errorf("open-loop mix %s: %w", mix.Name, err)
+			}
+			res.Mix = mix
+			rep.OpenLoop = append(rep.OpenLoop, res)
+		}
+	}
+	return rep, nil
+}
+
+// OpFunc performs one operation; the engines only see success or failure.
+type OpFunc func(key int64, write bool) error
+
+// wireOpFunc drives the smart client.
+func wireOpFunc(c *client.Client) OpFunc {
+	return func(key int64, write bool) error {
+		if write {
+			_, err := c.Write(key, key)
+			return err
+		}
+		_, err := c.Read(key)
+		return err
+	}
+}
+
+// HTTPOpFunc drives one node's HTTP API — the naive path: every op
+// enters at that node regardless of placement, and the node relays what
+// it cannot serve. Exported so cmd/regbench can point its open loop at
+// an existing cluster's API without duplicating the HTTP plumbing.
+func HTTPOpFunc(api string) OpFunc {
+	hc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+	return func(key int64, write bool) error {
+		var req *http.Request
+		var err error
+		if write {
+			req, err = http.NewRequest("POST",
+				fmt.Sprintf("http://%s/write?key=%d&val=%d", api, key, key), nil)
+		} else {
+			req, err = http.NewRequest("GET",
+				fmt.Sprintf("http://%s/read?key=%d", api, key), nil)
+		}
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("http %d", resp.StatusCode)
+		}
+		return nil
+	}
+}
+
+// runClosedLoop hammers do with cfg.Inflight workers for cfg.Duration and
+// brackets the run with forward-relay scrapes.
+func (cl *cluster) runClosedLoop(cfg Config, mode string, do OpFunc) (LegResult, error) {
+	res := LegResult{Mode: mode}
+	before, err := cl.forwardRelays()
+	if err != nil {
+		return res, err
+	}
+	var (
+		ops      atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	stop := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for w := 0; w < cfg.Inflight; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker) + 1))
+			for i := 0; time.Now().Before(stop); i++ {
+				key := int64(rng.Intn(cfg.Keys))
+				if err := do(key, (worker+i)%2 == 0); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("worker %d op %d: %w", worker, i, err))
+					return
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return res, err
+	}
+	res.Ops = int(ops.Load())
+	res.OpsPerSec = float64(res.Ops) / res.Seconds
+	after, err := cl.forwardRelays()
+	if err != nil {
+		return res, err
+	}
+	res.ForwardRelays = after - before
+	return res, nil
+}
+
+// OpenLoopConfig parameterizes one RunOpenLoop.
+type OpenLoopConfig struct {
+	// Rate is the arrival rate (ops/sec); Ops the number of scheduled
+	// arrivals; Keys the keyspace; WriteFraction the probability an
+	// arrival is a write; Seed the workload's deterministic seed.
+	Rate          float64
+	Ops           int
+	Keys          int
+	WriteFraction float64
+	Seed          int64
+	// Do performs one operation.
+	Do OpFunc
+}
+
+// RunOpenLoop fires cfg.Ops arrivals at the fixed rate and reports
+// latency percentiles per op class. The loop is OPEN: arrival i is due at
+// start + i/rate whether or not earlier ops finished, each op runs in its
+// own goroutine, and its latency is measured from the scheduled arrival —
+// a stalled server accumulates queued arrivals whose waiting time lands
+// in the tail, exactly what a closed loop hides by pausing the arrivals.
+func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if cfg.Rate <= 0 || cfg.Ops <= 0 || cfg.Keys <= 0 || cfg.Do == nil {
+		return OpenLoopResult{}, fmt.Errorf("open loop needs rate, ops, keys, and an op func")
+	}
+	res := OpenLoopResult{RateOpsPerSec: cfg.Rate, Ops: cfg.Ops}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type op struct {
+		key   int64
+		write bool
+	}
+	plan := make([]op, cfg.Ops)
+	for i := range plan {
+		plan[i] = op{key: int64(rng.Intn(cfg.Keys)), write: rng.Float64() < cfg.WriteFraction}
+	}
+
+	var (
+		mu       sync.Mutex
+		readLat  []time.Duration
+		writeLat []time.Duration
+		errs     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for i, o := range plan {
+		sched := start.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(o op, sched time.Time) {
+			defer wg.Done()
+			if err := cfg.Do(o.key, o.write); err != nil {
+				errs.Add(1)
+				return
+			}
+			lat := time.Since(sched)
+			mu.Lock()
+			if o.write {
+				writeLat = append(writeLat, lat)
+			} else {
+				readLat = append(readLat, lat)
+			}
+			mu.Unlock()
+		}(o, sched)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	res.Errors = int(errs.Load())
+	res.ReadP50Ms, res.ReadP95Ms, res.ReadP99Ms = percentilesMs(readLat)
+	res.WriteP50Ms, res.WriteP95Ms, res.WriteP99Ms = percentilesMs(writeLat)
+	return res, nil
+}
+
+// percentilesMs reports p50/p95/p99 of lat in milliseconds (zeros when
+// empty).
+func percentilesMs(lat []time.Duration) (p50, p95, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(lat)-1))
+		return float64(lat[idx]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// ---- cluster: regserve OS processes ----
+
+// node is one spawned regserve.
+type node struct {
+	cmd    *exec.Cmd
+	listen string
+	api    string
+}
+
+type cluster struct {
+	nodes  []*node
+	tmpDir string
+}
+
+func (cl *cluster) stop() {
+	for _, nd := range cl.nodes {
+		nd.cmd.Process.Kill()
+		nd.cmd.Wait()
+	}
+	if cl.tmpDir != "" {
+		os.RemoveAll(cl.tmpDir)
+	}
+}
+
+func (cl *cluster) wireAddrs() []string {
+	out := make([]string, len(cl.nodes))
+	for i, nd := range cl.nodes {
+		out[i] = nd.listen
+	}
+	return out
+}
+
+// forwardRelays sums regserve_forward_total{op="read"|"write"} across
+// every node's /metrics.
+func (cl *cluster) forwardRelays() (uint64, error) {
+	var sum uint64
+	for _, nd := range cl.nodes {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", nd.api))
+		if err != nil {
+			return 0, err
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "regserve_forward_total{") {
+				continue
+			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				resp.Body.Close()
+				return 0, fmt.Errorf("bad metric line %q: %w", line, err)
+			}
+			sum += v
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}
+
+// spawnCluster builds regserve (unless cfg.BinPath is set) and boots the
+// sharded bootstrap cluster, meshed via the first node's listen address.
+func spawnCluster(cfg Config) (*cluster, error) {
+	cl := &cluster{}
+	bin := cfg.BinPath
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "benchclient-*")
+		if err != nil {
+			return nil, err
+		}
+		cl.tmpDir = dir
+		bin = filepath.Join(dir, "regserve")
+		build := exec.Command("go", "build", "-o", bin, "churnreg/cmd/regserve")
+		if out, err := build.CombinedOutput(); err != nil {
+			cl.stop()
+			return nil, fmt.Errorf("building regserve: %v\n%s", err, out)
+		}
+	}
+	var seed string
+	for i := 1; i <= cfg.Nodes; i++ {
+		args := []string{
+			"-id", fmt.Sprint(i),
+			"-listen", "127.0.0.1:0",
+			"-api", "127.0.0.1:0",
+			"-protocol", "esync",
+			"-n", fmt.Sprint(cfg.Nodes),
+			"-delta", "5",
+			"-tick", "1ms",
+			"-shards", fmt.Sprint(cfg.Shards),
+			"-replication", fmt.Sprint(cfg.Replication),
+			"-bootstrap",
+		}
+		if seed != "" {
+			args = append(args, "-peers", seed)
+		}
+		nd, err := startNode(bin, args)
+		if err != nil {
+			cl.stop()
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		cl.nodes = append(cl.nodes, nd)
+		if seed == "" {
+			seed = nd.listen
+		}
+	}
+	for _, nd := range cl.nodes {
+		if err := waitHealthy(nd, cfg.Nodes-1, 30*time.Second); err != nil {
+			cl.stop()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// startNode launches one regserve and parses its REGSERVE announce line
+// for the bound addresses.
+func startNode(bin string, args []string) (*node, error) {
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "REGSERVE ") {
+				lineCh <- line
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case line := <-lineCh:
+		nd := &node{cmd: cmd}
+		for _, field := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(field, "listen="); ok {
+				nd.listen = v
+			}
+			if v, ok := strings.CutPrefix(field, "api="); ok {
+				nd.api = v
+			}
+		}
+		if nd.listen == "" || nd.api == "" {
+			cmd.Process.Kill()
+			return nil, fmt.Errorf("bad announce line %q", line)
+		}
+		return nd, nil
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("regserve never announced its addresses")
+	}
+}
+
+// waitHealthy polls /health until the node reports active with wantPeers
+// identified peers.
+func waitHealthy(nd *node, wantPeers int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/health", nd.api))
+		if err == nil {
+			var h struct {
+				Active bool `json:"active"`
+				Peers  int  `json:"peers"`
+			}
+			dec := json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if dec == nil && h.Active && h.Peers >= wantPeers {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster never became healthy")
+}

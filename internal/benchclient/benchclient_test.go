@@ -1,0 +1,88 @@
+package benchclient
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDirectRoutingSpeedupFloor is the artifact's own acceptance floor:
+// against the same sharded cluster, the wire client routing direct must
+// move at least 1.5x the ops/sec of the naive single-node HTTP path —
+// and the forward-relay scrapes must show WHY (the naive leg relays,
+// the smart leg does not). The checked-in BENCH_client.json shows well
+// above 1.5x; the floor keeps CI immune to noisy neighbours while
+// catching a client that silently degrades to relayed routing (which
+// yields ~1x).
+func TestDirectRoutingSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds regserve and spawns an OS-process cluster; skipped in -short")
+	}
+	rep, err := Run(Config{
+		Inflight: 48,
+		Duration: 1500 * time.Millisecond,
+		Rate:     600,
+		OpenOps:  800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPNaive.OpsPerSec <= 0 || rep.WireDirect.OpsPerSec <= 0 {
+		t.Fatalf("degenerate measurement: %+v", rep)
+	}
+	if rep.DirectSpeedup < 1.5 {
+		t.Fatalf("direct-routing speedup = %.2fx (%.0f vs %.0f ops/sec), want >= 1.5x",
+			rep.DirectSpeedup, rep.WireDirect.OpsPerSec, rep.HTTPNaive.OpsPerSec)
+	}
+	// The mechanism, not just the number: the naive path relays (most
+	// keys are not served by the one entry node), the smart path does
+	// not (every op lands on a member of the owning group).
+	if rep.HTTPNaive.ForwardRelays == 0 {
+		t.Fatal("naive HTTP leg caused no forward relays — the comparison is not measuring the relay hop")
+	}
+	if limit := uint64(rep.WireDirect.Ops / 50); rep.WireDirect.ForwardRelays > limit {
+		t.Fatalf("smart client caused %d forward relays over %d ops (allowing <= %d for placement races)",
+			rep.WireDirect.ForwardRelays, rep.WireDirect.Ops, limit)
+	}
+	// The open-loop legs measured real latencies for both classes in
+	// both mixes.
+	if len(rep.OpenLoop) != 2 {
+		t.Fatalf("open-loop results = %d mixes, want 2", len(rep.OpenLoop))
+	}
+	for _, ol := range rep.OpenLoop {
+		if ol.Errors > ol.Ops/20 {
+			t.Fatalf("mix %s: %d/%d open-loop ops failed", ol.Mix.Name, ol.Errors, ol.Ops)
+		}
+		if ol.ReadP50Ms <= 0 || ol.WriteP50Ms <= 0 {
+			t.Fatalf("mix %s: empty latency percentiles: %+v", ol.Mix.Name, ol)
+		}
+		if ol.ReadP99Ms < ol.ReadP50Ms || ol.WriteP99Ms < ol.WriteP50Ms {
+			t.Fatalf("mix %s: percentiles not monotone: %+v", ol.Mix.Name, ol)
+		}
+	}
+}
+
+// TestOpenLoopMeasuresFromScheduledArrival pins the coordinated-omission
+// defence in the engine itself: with an op func that stalls, the tail
+// latency must reflect the queued arrivals' waiting time — far above the
+// per-op service time a closed loop would report.
+func TestOpenLoopMeasuresFromScheduledArrival(t *testing.T) {
+	const stall = 50 * time.Millisecond
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Rate: 1000, Ops: 100, Keys: 4, WriteFraction: 0, Seed: 1,
+		Do: func(int64, bool) error { time.Sleep(stall); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	// Every op takes 50ms of service time; arrivals come every 1ms. In an
+	// open loop each op's latency is its own service time (they run
+	// concurrently from their scheduled arrivals), so p50 sits near the
+	// stall — but never below it, and never near zero.
+	if res.ReadP50Ms < float64(stall)/float64(time.Millisecond) {
+		t.Fatalf("p50 = %.1fms, below the %.0fms service time — latency not measured from scheduled arrival",
+			res.ReadP50Ms, float64(stall)/float64(time.Millisecond))
+	}
+}

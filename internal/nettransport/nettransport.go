@@ -247,6 +247,14 @@ type Transport struct {
 	byAddr map[string]*peer
 	byID   map[core.ProcessID]*peer
 	conns  map[net.Conn]struct{}
+	// sessions holds the live client sessions (accepted connections whose
+	// HELLO declared wire.RoleClient), keyed by the negative pseudo-id the
+	// transport minted for each. Client sessions are served, never meshed:
+	// they are absent from the address book, the gossip, and the placement.
+	sessions map[core.ProcessID]*clientSession
+	// sessionSeq mints session pseudo-ids (negated, so they can never
+	// collide with real process ids, which are positive by construction).
+	sessionSeq int64
 	// timers tracks pending time.AfterFunc timers (self-sends, loopbacks,
 	// protocol After callbacks) so Close stops them instead of leaking
 	// each until it fires — the livenet fix from PR 2, mirrored.
@@ -282,17 +290,18 @@ func New(cfg Config) (*Transport, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	t := &Transport{
-		cfg:     cfg,
-		ln:      ln,
-		start:   time.Now(),
-		mailbox: make(chan task, cfg.MailboxLen),
-		quit:    make(chan struct{}),
-		ctx:     ctx,
-		cancel:  cancel,
-		byAddr:  make(map[string]*peer),
-		byID:    make(map[core.ProcessID]*peer),
-		conns:   make(map[net.Conn]struct{}),
-		timers:  make(map[*time.Timer]struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		start:    time.Now(),
+		mailbox:  make(chan task, cfg.MailboxLen),
+		quit:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
+		byAddr:   make(map[string]*peer),
+		byID:     make(map[core.ProcessID]*peer),
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[core.ProcessID]*clientSession),
+		timers:   make(map[*time.Timer]struct{}),
 	}
 	t.node = cfg.Factory(t, core.SpawnContext{
 		Bootstrap:   cfg.Bootstrap,
@@ -551,6 +560,19 @@ func (t *Transport) Send(to core.ProcessID, m core.Message) {
 		t.cfg.Logf("nettransport %v: encode %v: %v", t.cfg.ID, m.Kind(), err)
 		return
 	}
+	if to < core.NoProcess {
+		// Negative ids are client-session pseudo-ids: the reply rides the
+		// session's own connection (a session is never dialed back).
+		t.mu.Lock()
+		s := t.sessions[to]
+		t.mu.Unlock()
+		if s == nil {
+			t.stats.SendUnknown.Add(1)
+			return
+		}
+		s.send(t, payload)
+		return
+	}
 	t.mu.Lock()
 	p := t.byID[to]
 	t.mu.Unlock()
@@ -660,29 +682,67 @@ func (t *Transport) ShardInfo() (shards, owned, replication int) {
 // refreshPlacement rebuilds the placement view from the identified
 // address book plus self, publishes it for the protocol's lock-free
 // reads, and posts PlacementChanged to the node's loop. Called whenever
-// a peer is learned, leaves, or is evicted.
+// a peer is learned, leaves, or is evicted. Even with sharding disabled
+// the membership change is versioned and pushed to the connected client
+// sessions, so an SDK client's server list tracks the live system.
 func (t *Transport) refreshPlacement() {
-	if !t.cfg.Placement.Enabled() {
+	sharded := t.cfg.Placement.Enabled()
+	t.mu.Lock()
+	if sharded {
+		members := make([]core.ProcessID, 0, len(t.byID)+1)
+		members = append(members, t.cfg.ID)
+		for id := range t.byID {
+			members = append(members, id)
+		}
+		view := placement.Build(t.cfg.Placement, members)
+		t.viewSeq++
+		if view != nil {
+			view.SetVersion(t.viewSeq)
+		}
+		t.view.Store(view)
+	} else {
+		t.viewSeq++
+	}
+	vf := t.viewFrameLocked()
+	sessions := make([]*clientSession, 0, len(t.sessions))
+	for _, s := range t.sessions {
+		sessions = append(sessions, s)
+	}
+	t.mu.Unlock()
+	if len(sessions) > 0 {
+		if payload, err := wire.EncodeFrame(vf); err == nil {
+			for _, s := range sessions {
+				s.send(t, payload)
+			}
+		}
+	}
+	if !sharded {
 		return
 	}
-	t.mu.Lock()
-	members := make([]core.ProcessID, 0, len(t.byID)+1)
-	members = append(members, t.cfg.ID)
-	for id := range t.byID {
-		members = append(members, id)
-	}
-	view := placement.Build(t.cfg.Placement, members)
-	t.viewSeq++
-	if view != nil {
-		view.SetVersion(t.viewSeq)
-	}
-	t.view.Store(view)
-	t.mu.Unlock()
 	t.enqueue(func() {
 		if pa, ok := t.node.(core.PlacementAware); ok {
 			pa.PlacementChanged(t.Placement())
 		}
 	})
+}
+
+// viewFrameLocked snapshots the placement bootstrap a client session
+// needs: the current view version, the deployment's placement constants
+// (zero when unsharded), and the member address book including self.
+// The client rebuilds the same placement.View locally — Build is
+// deterministic in the member ids — so the frame need not carry the
+// group tables. t.mu held.
+func (t *Transport) viewFrameLocked() wire.Frame {
+	f := wire.Frame{Type: wire.FrameView, ViewVersion: t.viewSeq}
+	if t.cfg.Placement.Enabled() {
+		f.Shards = uint32(t.cfg.Placement.Shards)
+		f.Replication = uint32(t.cfg.Placement.Replication)
+	}
+	f.Peers = append(f.Peers, wire.Peer{ID: t.cfg.ID, Addr: t.Addr()})
+	for id, p := range t.byID {
+		f.Peers = append(f.Peers, wire.Peer{ID: id, Addr: p.addr})
+	}
+	return f
 }
 
 // ---- internals ----
@@ -914,9 +974,14 @@ func (t *Transport) forgetPeer(id core.ProcessID) {
 // readConn drains one connection. own is the outbound peer the connection
 // belongs to (nil for accepted connections); accepted connections answer
 // the remote's HELLO with our HELLO + address book — the only writes ever
-// issued on an inbound connection, all from this goroutine. onDead, when
-// set, runs once the connection stops being readable, so an idle writer
-// learns its link died without having to write into it.
+// issued on an inbound connection, all from this goroutine. An accepted
+// HELLO declaring wire.RoleClient turns the connection into a client
+// session instead: all later writes to it flow through the session's own
+// writer goroutine, and its operations are delivered under the session's
+// pseudo-id (so the shard wrapper's FORWARD machinery serves or refuses
+// them exactly as it would a relaying peer's). onDead, when set, runs
+// once the connection stops being readable, so an idle writer learns its
+// link died without having to write into it.
 func (t *Transport) readConn(conn net.Conn, own *peer, accepted bool, onDead func()) {
 	defer t.wg.Done()
 	defer t.untrackConn(conn)
@@ -924,6 +989,12 @@ func (t *Transport) readConn(conn net.Conn, own *peer, accepted bool, onDead fun
 	if onDead != nil {
 		defer onDead()
 	}
+	var sess *clientSession
+	defer func() {
+		if sess != nil {
+			t.dropSession(sess)
+		}
+	}()
 	// One buffered scanner per connection: header and payload reads go
 	// through bufio (a batched flush from the remote surfaces as one
 	// kernel read), and the payload buffer is reused across frames.
@@ -940,6 +1011,18 @@ func (t *Transport) readConn(conn net.Conn, own *peer, accepted bool, onDead fun
 		t.stats.FramesReceived.Add(1)
 		switch f.Type {
 		case wire.FrameHello:
+			if accepted && f.Role == wire.RoleClient {
+				if sess == nil {
+					if sess = t.newClientSession(conn); sess == nil {
+						return
+					}
+					// The handshake reply — our identity plus the placement
+					// bootstrap — rides the session writer like every later
+					// frame, so it can never interleave with op replies.
+					t.sessionHello(sess)
+				}
+				continue
+			}
 			if own != nil && f.From != core.NoProcess {
 				// The acceptor's HELLO reply on a connection we dialed:
 				// bind the peer's identity.
@@ -964,11 +1047,80 @@ func (t *Transport) readConn(conn net.Conn, own *peer, accepted bool, onDead fun
 				t.learnPeer(p.ID, p.Addr)
 			}
 		case wire.FrameMsg:
+			if sess != nil {
+				// A session may only submit FORWARDs (client operations).
+				// Its From is overwritten with the session pseudo-id: the
+				// shard wrapper's reply then routes back here via Send's
+				// negative-id path, whatever id the client claimed.
+				if fm, ok := f.Msg.(core.ForwardMsg); ok {
+					fm.From = sess.pid
+					t.enqueueDeliver(sess.pid, fm)
+				}
+				continue
+			}
 			t.enqueueDeliver(f.From, f.Msg)
 		case wire.FrameLeave:
+			if sess != nil {
+				continue
+			}
 			t.forgetPeer(f.From)
+		case wire.FrameViewReq:
+			if sess != nil {
+				t.mu.Lock()
+				vf := t.viewFrameLocked()
+				t.mu.Unlock()
+				if payload, err := wire.EncodeFrame(vf); err == nil {
+					sess.send(t, payload)
+				}
+			}
 		}
 	}
+}
+
+// newClientSession registers a client session for an accepted connection,
+// minting its pseudo-id and starting its writer. Returns nil when the
+// transport is closing.
+func (t *Transport) newClientSession(conn net.Conn) *clientSession {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.sessionSeq++
+	s := &clientSession{
+		pid:  core.ProcessID(-t.sessionSeq),
+		conn: conn,
+		out:  make(chan []byte, t.cfg.QueueLen),
+		quit: make(chan struct{}),
+	}
+	t.sessions[s.pid] = s
+	t.wg.Add(1)
+	go s.writer(t)
+	return s
+}
+
+// sessionHello enqueues the handshake reply for a fresh client session:
+// our HELLO (naming the serving process) and the current VIEW.
+func (t *Transport) sessionHello(s *clientSession) {
+	t.mu.Lock()
+	vf := t.viewFrameLocked()
+	t.mu.Unlock()
+	if payload, err := wire.EncodeFrame(t.helloFrame()); err == nil {
+		s.send(t, payload)
+	}
+	if payload, err := wire.EncodeFrame(vf); err == nil {
+		s.send(t, payload)
+	}
+}
+
+// dropSession unregisters a finished client session and stops its writer.
+func (t *Transport) dropSession(s *clientSession) {
+	t.mu.Lock()
+	if t.sessions[s.pid] == s {
+		delete(t.sessions, s.pid)
+	}
+	t.mu.Unlock()
+	s.stop()
 }
 
 // isClosedErr reports whether err is the ordinary end of a connection
@@ -980,6 +1132,97 @@ func isClosedErr(err error) bool {
 	}
 	var ne net.Error
 	return errors.As(err, &ne)
+}
+
+// clientSession is the serving side of one external SDK connection: a
+// bounded reply queue drained by a writer goroutine that coalesces
+// frames into batched writes, mirroring the peer writer minus the
+// dialing (a session lives exactly as long as its accepted connection —
+// reconnecting is the client's job, and a reconnect is a new session).
+type clientSession struct {
+	// pid is the negative pseudo-id this session's operations are
+	// delivered under; replies Sent to it route back here.
+	pid     core.ProcessID
+	conn    net.Conn
+	out     chan []byte
+	quit    chan struct{}
+	stopped sync.Once
+	// scratch and flushBuf are the writer's reusable batch state
+	// (writer-goroutine-owned), as in peer.
+	scratch  [][]byte
+	flushBuf []byte
+}
+
+func (s *clientSession) stop() { s.stopped.Do(func() { close(s.quit) }) }
+
+// send enqueues an encoded payload for the session, dropping the oldest
+// queued frame when the queue is full — the same fair-lossy discipline
+// as peer queues (the client times out and retries; blocking here would
+// stall a node-loop reply path on one slow client).
+func (s *clientSession) send(t *Transport, payload []byte) {
+	select {
+	case <-s.quit:
+		return
+	default:
+	}
+	select {
+	case s.out <- payload:
+		t.stats.FramesSent.Add(1)
+	default:
+		select {
+		case <-s.out:
+			t.stats.QueueDrops.Add(1)
+		default:
+		}
+		select {
+		case s.out <- payload:
+			t.stats.FramesSent.Add(1)
+		default:
+			t.stats.QueueDrops.Add(1)
+		}
+	}
+}
+
+// writer drains the session queue into coalesced writes until the
+// session or the transport stops, or the connection breaks. Closing the
+// connection on exit also unblocks the session's reader.
+func (s *clientSession) writer(t *Transport) {
+	defer t.wg.Done()
+	maxFrames, maxBytes := t.cfg.BatchFrames, t.cfg.BatchBytes
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.quit:
+			return
+		case payload := <-s.out:
+			batch := append(s.scratch[:0], payload)
+			size := len(payload)
+			for len(batch) < maxFrames && size < maxBytes {
+				select {
+				case more := <-s.out:
+					batch = append(batch, more)
+					size += len(more)
+				default:
+					size = maxBytes // queue empty: stop gathering
+				}
+			}
+			s.scratch = batch[:0]
+			buf := s.flushBuf[:0]
+			for _, p := range batch {
+				buf = wire.AppendPayloadBytes(buf, p)
+			}
+			s.flushBuf = buf
+			s.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := s.conn.Write(buf); err != nil {
+				s.conn.Close()
+				return
+			}
+			t.stats.FlushWrites.Add(1)
+			t.stats.FlushedFrames.Add(uint64(len(batch)))
+			t.stats.LastBatchFrames.Store(uint64(len(batch)))
+		}
+	}
 }
 
 // peer is one outbound link: a queue drained by a dial/redial writer that

@@ -819,28 +819,35 @@ func (n *Node) armFwdTimer(id core.OpID) {
 	})
 }
 
-// handleForward serves (or refuses) an operation forwarded to this node.
+// handleForward serves (or refuses) an operation forwarded to this node
+// — by a relaying peer with a staler view, or by an external client
+// session routing directly (the wire client's operations arrive as
+// FORWARDs from the transport's session pseudo-ids). With no view yet
+// the node serves unconditionally: an unsharded system replicates every
+// key everywhere, so there is no wrong replica to refuse from.
 func (n *Node) handleForward(m core.ForwardMsg) {
 	refuse := func(code core.ForwardCode) {
 		n.stats.ForwardsRefused++
 		n.env.Send(m.From, core.ForwardedMsg{From: n.env.ID(), Op: m.Op, Reg: m.Reg, Code: code})
 	}
 	v := n.view
-	if v == nil || !v.IsReplica(m.Reg, n.env.ID()) {
-		refuse(core.ForwardWrongReplica)
-		return
-	}
-	if m.IsWrite && v.Group(m.Reg)[0] != n.env.ID() {
-		// Only the CURRENT primary assigns a key's sequence numbers; a
-		// requester with a stale view must re-route, not split the
-		// write stream across two nodes.
-		refuse(core.ForwardWrongReplica)
-		return
-	}
-	shard := v.ShardOf(m.Reg)
-	if n.pendingShard(shard) {
-		n.queueOnShard(shard, func() { n.handleForward(m) })
-		return
+	if v != nil {
+		if !v.IsReplica(m.Reg, n.env.ID()) {
+			refuse(core.ForwardWrongReplica)
+			return
+		}
+		if m.IsWrite && v.Group(m.Reg)[0] != n.env.ID() {
+			// Only the CURRENT primary assigns a key's sequence numbers; a
+			// requester with a stale view must re-route, not split the
+			// write stream across two nodes.
+			refuse(core.ForwardWrongReplica)
+			return
+		}
+		shard := v.ShardOf(m.Reg)
+		if n.pendingShard(shard) {
+			n.queueOnShard(shard, func() { n.handleForward(m) })
+			return
+		}
 	}
 	if !n.inner.Active() {
 		refuse(core.ForwardNotActive)

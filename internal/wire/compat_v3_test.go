@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// v3Frames enumerates well-formed version-3 payloads. The message-body
+// layouts are identical to version 4 (v4 only widened HELLO with a role
+// byte and ADDED the VIEW_REQ/VIEW frame types), so a v3 MSG payload is a
+// v4 payload with its version byte rewound; the v3 HELLO is hand-built in
+// the old role-less layout. Either way the version byte must govern
+// acceptance: a v4 decoder fed a v3 HELLO would misread the address
+// length's first byte as a role, and a v3 node fed a VIEW frame would
+// reject the unknown type only after trusting placement assumptions it
+// never negotiated.
+func v3Frames(t *testing.T) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	frames := make(map[string][]byte)
+	for _, kind := range allKinds {
+		payload, err := EncodeFrame(Frame{Type: FrameMsg, From: 7, Msg: randMessage(rng, kind)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload[0] = 3
+		frames[kind.String()] = payload
+	}
+	// HELLO(from, addr) — v3 carried no role byte.
+	hello := []byte{3, byte(FrameHello)}
+	hello = binary.BigEndian.AppendUint64(hello, 9)
+	hello = binary.BigEndian.AppendUint16(hello, 14)
+	hello = append(hello, "127.0.0.1:7777"...)
+	frames["hello"] = hello
+	return frames
+}
+
+// TestDecodeV3FailsLoudly pins the v3→v4 compatibility contract exactly
+// as its v1→v2 and v2→v3 predecessors: every version-3 payload decodes
+// to ErrVersion — inspectable, never a panic, never a silent misparse.
+func TestDecodeV3FailsLoudly(t *testing.T) {
+	for name, payload := range v3Frames(t) {
+		_, err := DecodeFrame(payload)
+		if err == nil {
+			t.Errorf("%s: DecodeFrame accepted a version-3 payload", name)
+			continue
+		}
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: DecodeFrame error = %v, want ErrVersion", name, err)
+		}
+	}
+	// The error names the offending version, so a mixed deployment's
+	// operator can tell which side is old.
+	_, err := DecodeFrame(v3Frames(t)["hello"])
+	if err == nil || err.Error() != "wire: unsupported codec version: 3" {
+		t.Fatalf("error = %v, want the versioned message naming 3", err)
+	}
+}
+
+// TestViewRoundTrip pins the VIEW layout field by field (the property and
+// fuzz tests cover random values; this is the readable byte-layout
+// contract): version stamp, placement constants, then the member address
+// book in PEERS entry format.
+func TestViewRoundTrip(t *testing.T) {
+	f := Frame{Type: FrameView, ViewVersion: 42, Shards: 8, Replication: 3,
+		Peers: []Peer{{ID: 11, Addr: "10.1.2.3:4567"}}}
+	payload, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{Version, byte(FrameView)}
+	want = binary.BigEndian.AppendUint64(want, 42)
+	want = binary.BigEndian.AppendUint32(want, 8)
+	want = binary.BigEndian.AppendUint32(want, 3)
+	want = binary.BigEndian.AppendUint32(want, 1)
+	want = binary.BigEndian.AppendUint64(want, 11)
+	want = binary.BigEndian.AppendUint16(want, 13)
+	want = append(want, "10.1.2.3:4567"...)
+	if string(payload) != string(want) {
+		t.Fatalf("VIEW encoding:\n got % x\nwant % x", payload, want)
+	}
+}
+
+// TestHelloRoleRoundTrip pins the widened HELLO layout: the role byte
+// sits between the sender id and the address, zero for peers (so the
+// pre-v4 call sites that never set a role still announce processes) and
+// one for client sessions.
+func TestHelloRoleRoundTrip(t *testing.T) {
+	for _, f := range []Frame{
+		{Type: FrameHello, From: 9, Addr: "a:1", Role: RolePeer},
+		{Type: FrameHello, From: 0, Addr: "", Role: RoleClient},
+	} {
+		payload, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Role(payload[10]); got != f.Role {
+			t.Fatalf("role byte = %v, want %v", got, f.Role)
+		}
+		back, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Role != f.Role || back.From != f.From || back.Addr != f.Addr {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, f)
+		}
+	}
+}
+
+// TestHelloRejectsBadRole: the codec stays canonical — an undefined role
+// byte is rejected on both sides, not smuggled through.
+func TestHelloRejectsBadRole(t *testing.T) {
+	if _, err := EncodeFrame(Frame{Type: FrameHello, From: 1, Role: 9}); err == nil {
+		t.Fatal("encoder accepted an undefined role")
+	}
+	payload, err := EncodeFrame(Frame{Type: FrameHello, From: 1, Addr: "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[10] = 9
+	if _, err := DecodeFrame(payload); err == nil {
+		t.Fatal("decoder accepted an undefined role byte")
+	}
+}

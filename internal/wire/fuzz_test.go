@@ -24,8 +24,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	for _, fr := range []Frame{
 		{Type: FrameHello, From: 3, Addr: "127.0.0.1:9999"},
+		{Type: FrameHello, From: 0, Role: RoleClient},
 		{Type: FramePeers, Peers: []Peer{{ID: 1, Addr: "a:1"}, {ID: 2, Addr: "b:2"}}},
 		{Type: FrameLeave, From: 12},
+		{Type: FrameViewReq},
+		{Type: FrameView, ViewVersion: 5, Shards: 8, Replication: 3,
+			Peers: []Peer{{ID: 1, Addr: "a:1"}, {ID: 2, Addr: "b:2"}}},
 	} {
 		payload, err := EncodeFrame(fr)
 		if err != nil {

@@ -50,7 +50,16 @@ import (
 //	   payloads decode to ErrVersion: a v2 node cannot parse the new
 //	   kinds, and silently mixing sharded and unsharded placement
 //	   assumptions would corrupt register state.
-const Version = 3
+//	4: client sessions. HELLO carries a role byte (peer vs client) so
+//	   an acceptor can tell a meshing process from an external SDK
+//	   client that must stay out of the address book and the placement;
+//	   the new VIEW_REQ and VIEW frames bootstrap and refresh a client's
+//	   cached placement (view version, shard/replication constants, and
+//	   the member address book). Version-3 payloads decode to ErrVersion
+//	   (TestDecodeV3FailsLoudly): a v3 node would misparse the widened
+//	   HELLO body, and a client routing on placement assumptions its
+//	   server never agreed to would write to the wrong primary.
+const Version = 4
 
 // MaxFrame bounds a payload's length. The largest legitimate frame is a
 // join snapshot reply, 24 bytes per key; 1 MiB allows ~43k keys per
@@ -64,14 +73,18 @@ const MaxAddr = 4096
 // FrameType discriminates payloads.
 type FrameType byte
 
-// Frame types: Msg envelops one core.Message; the rest are transport
-// control traffic (connection handshake, address-book gossip, graceful
-// departure).
+// Frame types: Msg envelops one core.Message; Hello/Peers/Leave are
+// transport control traffic (connection handshake, address-book gossip,
+// graceful departure); ViewReq/View are the client-session placement
+// bootstrap (a client asks, the server answers — and pushes unasked
+// whenever its membership view changes).
 const (
-	FrameMsg   FrameType = 1
-	FrameHello FrameType = 2
-	FramePeers FrameType = 3
-	FrameLeave FrameType = 4
+	FrameMsg     FrameType = 1
+	FrameHello   FrameType = 2
+	FramePeers   FrameType = 3
+	FrameLeave   FrameType = 4
+	FrameViewReq FrameType = 5
+	FrameView    FrameType = 6
 )
 
 // String names the frame type.
@@ -85,8 +98,37 @@ func (t FrameType) String() string {
 		return "PEERS"
 	case FrameLeave:
 		return "LEAVE"
+	case FrameViewReq:
+		return "VIEW_REQ"
+	case FrameView:
+		return "VIEW"
 	default:
 		return fmt.Sprintf("FrameType(%d)", byte(t))
+	}
+}
+
+// Role is the HELLO role byte: it tells an acceptor whether the dialer
+// is a meshing process (to be learned, gossiped, and placed) or an
+// external client session (served directly, never part of the system).
+type Role byte
+
+// Roles. The zero value is RolePeer, so every pre-existing call site
+// that builds a HELLO frame without thinking about roles still
+// announces itself as a process.
+const (
+	RolePeer   Role = 0
+	RoleClient Role = 1
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RolePeer:
+		return "peer"
+	case RoleClient:
+		return "client"
+	default:
+		return fmt.Sprintf("Role(%d)", byte(r))
 	}
 }
 
@@ -104,10 +146,21 @@ type Frame struct {
 	// Addr is the sender's listen address (Hello): the receiver records it
 	// so replies can be dialed.
 	Addr string
-	// Peers is the gossiped address book (Peers).
+	// Role distinguishes a meshing process from a client session (Hello).
+	Role Role
+	// Peers is the gossiped address book (Peers) or the placement's member
+	// list (View).
 	Peers []Peer
 	// Msg is the enveloped protocol message (Msg).
 	Msg core.Message
+	// ViewVersion is the monotone stamp of the sender's placement view
+	// (View); a client discards pushes older than what it holds.
+	ViewVersion uint64
+	// Shards and Replication are the deployment's placement constants
+	// (View). Shards == 0 means the keyspace is unsharded: any member
+	// serves any key, and the member list is just the live server set.
+	Shards      uint32
+	Replication uint32
 }
 
 // Decode errors.
@@ -152,7 +205,11 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		if len(f.Addr) > MaxAddr {
 			return dst[:start], ErrAddrLength
 		}
+		if f.Role > RoleClient {
+			return dst[:start], fmt.Errorf("wire: bad hello role %d", byte(f.Role))
+		}
 		b = be64(b, int64(f.From))
+		b = append(b, byte(f.Role))
 		b = binary.BigEndian.AppendUint16(b, uint16(len(f.Addr)))
 		b = append(b, f.Addr...)
 	case FramePeers:
@@ -167,6 +224,21 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		}
 	case FrameLeave:
 		b = be64(b, int64(f.From))
+	case FrameViewReq:
+		// Body-less: the request is the frame itself.
+	case FrameView:
+		b = binary.BigEndian.AppendUint64(b, f.ViewVersion)
+		b = binary.BigEndian.AppendUint32(b, f.Shards)
+		b = binary.BigEndian.AppendUint32(b, f.Replication)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(f.Peers)))
+		for _, p := range f.Peers {
+			if len(p.Addr) > MaxAddr {
+				return dst[:start], ErrAddrLength
+			}
+			b = be64(b, int64(p.ID))
+			b = binary.BigEndian.AppendUint16(b, uint16(len(p.Addr)))
+			b = append(b, p.Addr...)
+		}
 	default:
 		return dst[:start], fmt.Errorf("%w: %d", ErrFrameType, byte(f.Type))
 	}
@@ -219,22 +291,19 @@ func DecodeFrame(b []byte) (Frame, error) {
 		f.Msg = d.message()
 	case FrameHello:
 		f.From = core.ProcessID(d.i64())
+		f.Role = d.role()
 		f.Addr = d.str()
 	case FramePeers:
-		n := d.count(10) // 8-byte id + 2-byte length minimum per entry
-		if d.err == nil && n > 0 {
-			f.Peers = make([]Peer, 0, n)
-			for i := 0; i < n; i++ {
-				id := core.ProcessID(d.i64())
-				addr := d.str()
-				if d.err != nil {
-					return Frame{}, d.err
-				}
-				f.Peers = append(f.Peers, Peer{ID: id, Addr: addr})
-			}
-		}
+		f.Peers = d.peerList()
 	case FrameLeave:
 		f.From = core.ProcessID(d.i64())
+	case FrameViewReq:
+		// Body-less.
+	case FrameView:
+		f.ViewVersion = d.u64()
+		f.Shards = d.u32()
+		f.Replication = d.u32()
+		f.Peers = d.peerList()
 	default:
 		return Frame{}, fmt.Errorf("%w: %d", ErrFrameType, byte(typ))
 	}
@@ -444,6 +513,16 @@ func (d *decoder) forwardCode() core.ForwardCode {
 	return core.ForwardCode(v)
 }
 
+// role reads a strict HELLO role byte: only the defined roles are legal,
+// keeping the codec canonical.
+func (d *decoder) role() Role {
+	v := d.u8()
+	if d.err == nil && v > byte(RoleClient) {
+		d.fail(fmt.Errorf("wire: bad hello role %d", v))
+	}
+	return Role(v)
+}
+
 // bool reads a strict boolean byte: only 0 and 1 are legal, keeping the
 // codec canonical (decode∘encode is the identity on accepted payloads).
 func (d *decoder) bool() bool {
@@ -465,6 +544,19 @@ func (d *decoder) i64() int64 {
 	v := binary.BigEndian.Uint64(d.b[d.off:])
 	d.off += 8
 	return int64(v)
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.fail(ErrShort)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
 }
 
 func (d *decoder) u64() uint64 {
@@ -523,6 +615,25 @@ func (d *decoder) str() string {
 	s := string(d.b[d.off : d.off+n])
 	d.off += n
 	return s
+}
+
+// peerList reads one address-book section (uint32 count, then id+addr
+// entries), shared by PEERS and VIEW.
+func (d *decoder) peerList() []Peer {
+	n := d.count(10) // 8-byte id + 2-byte length minimum per entry
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]Peer, 0, n)
+	for i := 0; i < n; i++ {
+		id := core.ProcessID(d.i64())
+		addr := d.str()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, Peer{ID: id, Addr: addr})
+	}
+	return out
 }
 
 func (d *decoder) keyedValues() []core.KeyedValue {

@@ -122,9 +122,14 @@ func TestFrameRoundTrip(t *testing.T) {
 	frames := []Frame{
 		{Type: FrameHello, From: 42, Addr: "127.0.0.1:7001"},
 		{Type: FrameHello, From: 1, Addr: ""},
+		{Type: FrameHello, From: 0, Role: RoleClient},
 		{Type: FrameLeave, From: 9},
 		{Type: FramePeers},
 		{Type: FramePeers, Peers: []Peer{{ID: 1, Addr: "10.0.0.1:9"}, {ID: 2, Addr: "[::1]:80"}}},
+		{Type: FrameViewReq},
+		{Type: FrameView, ViewVersion: 0, Shards: 0, Replication: 0},
+		{Type: FrameView, ViewVersion: 17, Shards: 8, Replication: 3,
+			Peers: []Peer{{ID: 1, Addr: "10.0.0.1:9"}, {ID: 2, Addr: "[::1]:80"}, {ID: 3, Addr: "c:3"}}},
 	}
 	for _, kind := range allKinds {
 		frames = append(frames, Frame{Type: FrameMsg, From: core.ProcessID(rng.Int63n(1 << 30)), Msg: randMessage(rng, kind)})
@@ -182,8 +187,11 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"truncated msg":    valid[:len(valid)-1],
 		"trailing bytes":   append(append([]byte{}, valid...), 0),
 		"bad msg kind":     {Version, byte(FrameMsg), 0, 0, 0, 0, 0, 0, 0, 1, 99},
-		"hello addr short": {Version, byte(FrameHello), 0, 0, 0, 0, 0, 0, 0, 1, 0, 50, 'x'},
+		"hello addr short": {Version, byte(FrameHello), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 50, 'x'},
+		"hello bad role":   {Version, byte(FrameHello), 0, 0, 0, 0, 0, 0, 0, 1, 7, 0, 0},
 		"peers count lies": {Version, byte(FramePeers), 0, 0, 4, 0},
+		"viewreq trailing": {Version, byte(FrameViewReq), 0},
+		"view truncated":   {Version, byte(FrameView), 0, 0, 0, 0, 0, 0, 0, 9, 0, 0},
 	}
 	for name, b := range cases {
 		if _, err := DecodeFrame(b); err == nil {

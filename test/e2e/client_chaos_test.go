@@ -1,0 +1,299 @@
+package e2e
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"churnreg/client"
+	"churnreg/internal/core"
+	"churnreg/internal/sim"
+	"churnreg/internal/spec"
+)
+
+// TestE2EChaosWireClient is the sharded chaos suite rerun through the
+// wire-native smart client instead of the HTTP API: every operation
+// routes over the binary protocol direct to a member of the owning
+// replica group, using the client's cached placement view. The churn
+// schedule is kill-and-replace — the hostile case for a placement
+// cache, because a crashed owner sends no goodbye: the client keeps
+// routing to it until sends fail or the servers' refreshed views
+// arrive, and correctness while the cache is stale rests on servers
+// refusing what they no longer own, never mis-serving it.
+//
+// The ambiguity contract is exercised exactly as documented: a write
+// the client reports as client.ErrUnacknowledged poisons its key (no
+// process writes it again) and is resolved post hoc against observed
+// reads; a write that fails any other way was refused — provably not
+// applied — so the key stays writable. Per-key regularity over the
+// client-observed history is the verdict, as in every other suite here.
+func TestE2EChaosWireClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs OS processes; skipped in -short")
+	}
+	cfg := shardedChaosConfig{
+		protocol: "esync", delta: 5, tick: "1ms", duration: 4 * time.Second,
+		shards: 8, replica: 3, evictAfter: "500ms",
+	}
+	for _, seed := range seedsToRun() {
+		t.Run(fmt.Sprintf("%s/seed=%d", cfg.protocol, seed), func(t *testing.T) {
+			runWireClientChaos(t, cfg, seed)
+		})
+	}
+}
+
+func runWireClientChaos(t *testing.T, cfg shardedChaosConfig, seed int64) {
+	const nKeys = 6
+	start := time.Now()
+	now := func() sim.Time { return sim.Time(time.Since(start).Microseconds()) }
+
+	history := spec.NewHistory(core.VersionedValue{Val: 0, SN: 0})
+	var hmu sync.Mutex
+
+	const nBoot = 4
+	founders := make([]*node, 0, nBoot)
+	var peerAddrs []string
+	for i := int64(1); i <= nBoot; i++ {
+		nd := mustStartNode(t, i, cfg.protocol, nBoot, cfg.delta, cfg.tick, true, peerAddrs, cfg.flags()...)
+		founders = append(founders, nd)
+		peerAddrs = append(peerAddrs, nd.listen)
+	}
+	for _, nd := range founders {
+		mustHealthy(t, nd, nBoot-1, 10*time.Second)
+	}
+
+	// One client, seeded with every founder's wire address; it discovers
+	// placement from the handshake view and routes directly from there.
+	c, err := client.Dial(client.Config{Seeds: peerAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Sharded() {
+		t.Fatal("client did not learn a sharded placement from the handshake")
+	}
+
+	var (
+		stop          atomic.Bool
+		wg            sync.WaitGroup
+		writesDone    atomic.Uint64
+		writesRefused atomic.Uint64
+		readsDone     atomic.Uint64
+		readsFailed   atomic.Uint64
+	)
+
+	// Poisoned keys had an ambiguous write; resolved against reads at the
+	// end — same discipline as the HTTP sharded chaos suite.
+	var poisonMu sync.Mutex
+	poisoned := make(map[int64]bool)
+	var ambiguous []ambiguousWrite
+	isPoisoned := func(k int64) bool {
+		poisonMu.Lock()
+		defer poisonMu.Unlock()
+		return poisoned[k]
+	}
+	poison := func(op *spec.Op, k, v int64) {
+		poisonMu.Lock()
+		defer poisonMu.Unlock()
+		poisoned[k] = true
+		ambiguous = append(ambiguous, ambiguousWrite{op: op, key: k, val: v})
+	}
+
+	// One writer through the client. The client itself distinguishes the
+	// failure classes: ErrUnacknowledged = fate unknown, poison the key;
+	// anything else = the cluster refused after the client's own retries,
+	// so the write was not applied and the key stays writable.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed * 1000))
+		counter := int64(0)
+		for !stop.Load() {
+			counter++
+			val := seed*100_000_000 + counter
+			k := rng.Int63n(nKeys)
+			if isPoisoned(k) {
+				continue
+			}
+			hmu.Lock()
+			op := history.BeginWriteKey(1, core.RegisterID(k), now())
+			hmu.Unlock()
+			res, werr := c.Write(k, val)
+			end := now()
+			hmu.Lock()
+			switch {
+			case werr == nil:
+				history.CompleteWrite(op, end, core.VersionedValue{Val: core.Value(val), SN: core.SeqNum(res.SN)})
+				writesDone.Add(1)
+			case errors.Is(werr, client.ErrUnacknowledged):
+				poison(op, k, val)
+			default:
+				history.Abandon(op)
+				writesRefused.Add(1)
+			}
+			hmu.Unlock()
+			time.Sleep(time.Duration(rng.Intn(30)) * time.Millisecond)
+		}
+	}()
+
+	// Readers share the client (it is safe for concurrent use); the
+	// serving replica it reports attributes each read in the history.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(rdr int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*100 + rdr))
+			for !stop.Load() {
+				k := rng.Int63n(nKeys)
+				hmu.Lock()
+				op := history.BeginReadKey(core.ProcessID(100+rdr), core.RegisterID(k), now())
+				hmu.Unlock()
+				v, served, rerr := c.ReadServed(k)
+				end := now()
+				hmu.Lock()
+				if rerr != nil {
+					history.Abandon(op)
+					readsFailed.Add(1)
+				} else {
+					history.SetServer(op, core.ProcessID(served))
+					history.CompleteRead(op, end, core.VersionedValue{Val: core.Value(v.Val), SN: core.SeqNum(v.SN)})
+					readsDone.Add(1)
+				}
+				hmu.Unlock()
+				time.Sleep(time.Duration(5+rng.Intn(15)) * time.Millisecond)
+			}
+		}(int64(r))
+	}
+
+	// Churn: kill-and-replace, twice the cache insult of the HTTP suite's
+	// single crash — founder 4 dies without a goodbye mid-traffic, a
+	// replacement joins, and the client must re-learn placement both times.
+	scheduleDone := make(chan struct{})
+	var phases atomic.Int32
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(scheduleDone)
+		d := cfg.duration
+		time.Sleep(4 * d / 10)
+		n4 := founders[3]
+		n4.kill()
+		phases.Add(1)
+		// Traffic keeps flowing against the stale cache while eviction
+		// runs; then the replacement joins and placement reshuffles again.
+		time.Sleep(2 * d / 10)
+		n5, err := startNode(t, nBoot+1, cfg.protocol, nBoot, cfg.delta, cfg.tick, false,
+			[]string{founders[0].listen, founders[1].listen}, cfg.flags()...)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := waitHealthy(n5, 2, 15*time.Second); err != nil {
+			t.Errorf("replacement: %v", err)
+			return
+		}
+		phases.Add(1)
+	}()
+
+	select {
+	case <-scheduleDone:
+	case <-time.After(cfg.duration + 90*time.Second):
+		t.Error("churn schedule wedged")
+	}
+	time.Sleep(cfg.duration / 4)
+	stop.Store(true)
+	wg.Wait()
+	t.Logf("traffic and churn finished at %v", time.Since(start).Round(time.Millisecond))
+	if t.Failed() {
+		return
+	}
+	if phases.Load() != 2 {
+		t.Fatalf("churn schedule completed %d/2 phases", phases.Load())
+	}
+
+	// Quiesce, then final reads through the client: every key must still
+	// be servable, which requires the placement cache to have healed past
+	// both the crash and the join (retry briefly while eviction settles).
+	time.Sleep(10 * time.Duration(cfg.delta) * time.Millisecond)
+	for k := int64(0); k < nKeys; k++ {
+		hmu.Lock()
+		op := history.BeginReadKey(200, core.RegisterID(k), now())
+		hmu.Unlock()
+		var v client.Versioned
+		var served int64
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			v, served, err = c.ReadServed(k)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		end := now()
+		if err != nil {
+			t.Errorf("final read key %d: %v", k, err)
+			hmu.Lock()
+			history.Abandon(op)
+			hmu.Unlock()
+			continue
+		}
+		hmu.Lock()
+		history.SetServer(op, core.ProcessID(served))
+		history.CompleteRead(op, end, core.VersionedValue{Val: core.Value(v.Val), SN: core.SeqNum(v.SN)})
+		hmu.Unlock()
+		readsDone.Add(1)
+	}
+
+	// The dead founder must be gone from the client's adopted view by now
+	// — the stale entry was dropped, not retried forever.
+	for _, id := range c.Members() {
+		if id == founders[3].id {
+			t.Errorf("client view still lists killed node %d: members=%v", founders[3].id, c.Members())
+		}
+	}
+
+	// Resolve ambiguous writes against observed reads, as documented.
+	poisonMu.Lock()
+	pending := append([]ambiguousWrite(nil), ambiguous...)
+	poisonMu.Unlock()
+	resolved := 0
+	hmu.Lock()
+	for _, aw := range pending {
+		for _, op := range history.Ops() {
+			if op.Kind == spec.OpRead && op.Completed && op.Reg == core.RegisterID(aw.key) &&
+				op.Value.Val == core.Value(aw.val) {
+				history.ResolveValue(aw.op, op.Value)
+				resolved++
+				break
+			}
+		}
+	}
+	hmu.Unlock()
+
+	if err := history.ValidateWrites(); err != nil {
+		t.Fatalf("workload broke the write discipline: %v", err)
+	}
+	if violations := history.CheckRegular(); len(violations) > 0 {
+		for i, viol := range violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(violations)-10)
+				break
+			}
+			t.Errorf("regularity violation: %v", viol)
+		}
+		t.FailNow()
+	}
+
+	if writesDone.Load() < 10 || readsDone.Load() < 30 {
+		t.Fatalf("too few operations completed: %d writes, %d reads",
+			writesDone.Load(), readsDone.Load())
+	}
+	st := c.Stats()
+	t.Logf("%s seed=%d S=%d R=%d: %d writes, %d refused, %d ambiguous (%d resolved), %d reads (%d failed); client stats %+v",
+		cfg.protocol, seed, cfg.shards, cfg.replica, writesDone.Load(), writesRefused.Load(),
+		len(pending), resolved, readsDone.Load(), readsFailed.Load(), st)
+}
